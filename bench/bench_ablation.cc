@@ -1,0 +1,145 @@
+// Ablation benchmarks for the design choices called out in DESIGN.md:
+//
+//   A1: the Lemma 1 dominance pruning inside the OPQ builder
+//       (nodes visited / build time, identical output);
+//   A2: Greedy execution strategy -- paper-literal re-sort (kNaive) vs.
+//       linear merge + run batching (kFast), identical plans;
+//   A3: Baseline column-sampling budget (columns per cardinality);
+//   A4: Baseline chunk size.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "solver/baseline_solver.h"
+#include "solver/greedy_solver.h"
+#include "solver/opq_builder.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace slade;
+using slade_bench::RunSolver;
+using slade_bench::TimedSolve;
+
+void OpqPruningAblation() {
+  PrintBanner(std::cout,
+              "A1: OPQ builder, Lemma 1 pruning on/off (identical queues)");
+  TablePrinter table({"dataset", "t", "m", "nodes(pruned)", "nodes(full)",
+                      "time pruned (s)", "time full (s)", "queue size"});
+  for (DatasetKind dataset : {DatasetKind::kJelly, DatasetKind::kSmic}) {
+    const BinProfile profile =
+        BuildProfile(MakeModel(dataset), 20).ValueOrDie();
+    for (double t : {0.9, 0.95, 0.97}) {
+      OpqBuildOptions with, without;
+      without.enable_partial_pruning = false;
+      OpqBuildStats stats_with, stats_without;
+      Stopwatch w1;
+      auto a = BuildOpq(profile, t, with, &stats_with);
+      const double t1 = w1.ElapsedSeconds();
+      Stopwatch w2;
+      auto b = BuildOpq(profile, t, without, &stats_without);
+      const double t2 = w2.ElapsedSeconds();
+      if (!a.ok() || !b.ok() || a->size() != b->size()) {
+        std::cerr << "pruning ablation mismatch!\n";
+        std::exit(1);
+      }
+      table.AddRow({DatasetKindName(dataset),
+                    TablePrinter::FormatDouble(t, 2), "20",
+                    std::to_string(stats_with.nodes_visited),
+                    std::to_string(stats_without.nodes_visited),
+                    TablePrinter::FormatDouble(t1, 4),
+                    TablePrinter::FormatDouble(t2, 4),
+                    std::to_string(a->size())});
+    }
+  }
+  table.Print(std::cout);
+}
+
+void GreedyStrategyAblation() {
+  PrintBanner(std::cout,
+              "A2: Greedy re-sort (paper) vs. merge+batch (ours), same "
+              "plans");
+  TablePrinter table({"workload", "n", "naive (s)", "fast (s)",
+                      "cost naive", "cost fast"});
+  GreedySolver naive(GreedySolver::Strategy::kNaive);
+  GreedySolver fast(GreedySolver::Strategy::kFast);
+  std::vector<size_t> ns = slade_bench::FastMode()
+                               ? std::vector<size_t>{1'000}
+                               : std::vector<size_t>{1'000, 5'000, 10'000,
+                                                     20'000};
+  for (size_t n : ns) {
+    // Homogeneous (batching shines).
+    {
+      auto workload =
+          MakeHomogeneousWorkload(DatasetKind::kJelly, n, 0.9, 20);
+      TimedSolve a = RunSolver(naive, workload->task, workload->profile);
+      TimedSolve b = RunSolver(fast, workload->task, workload->profile);
+      table.AddRow({"homogeneous t=0.9", std::to_string(n),
+                    TablePrinter::FormatDouble(a.seconds, 4),
+                    TablePrinter::FormatDouble(b.seconds, 4),
+                    TablePrinter::FormatDouble(a.cost, 2),
+                    TablePrinter::FormatDouble(b.cost, 2)});
+    }
+    // Heterogeneous (merge only; no batching possible).
+    {
+      ThresholdSpec spec;
+      spec.family = ThresholdFamily::kNormal;
+      auto workload = MakeHeterogeneousWorkload(DatasetKind::kJelly, n,
+                                                spec, 20, 77);
+      TimedSolve a = RunSolver(naive, workload->task, workload->profile);
+      TimedSolve b = RunSolver(fast, workload->task, workload->profile);
+      table.AddRow({"hetero N(0.9,0.03)", std::to_string(n),
+                    TablePrinter::FormatDouble(a.seconds, 4),
+                    TablePrinter::FormatDouble(b.seconds, 4),
+                    TablePrinter::FormatDouble(a.cost, 2),
+                    TablePrinter::FormatDouble(b.cost, 2)});
+    }
+  }
+  table.Print(std::cout);
+}
+
+void BaselineColumnAblation() {
+  PrintBanner(std::cout,
+              "A3: Baseline column budget (random columns per cardinality)");
+  TablePrinter table({"columns/l", "cost (USD)", "time (s)"});
+  const size_t n = slade_bench::FastMode() ? 1'000 : 10'000;
+  auto workload = MakeHomogeneousWorkload(DatasetKind::kJelly, n, 0.9, 20);
+  for (uint32_t columns : {0u, 2u, 4u, 8u, 16u, 32u}) {
+    SolverOptions options;
+    options.baseline_columns_per_cardinality = columns;
+    BaselineSolver solver(options);
+    TimedSolve r = RunSolver(solver, workload->task, workload->profile);
+    table.AddRow({std::to_string(columns),
+                  TablePrinter::FormatDouble(r.cost, 2),
+                  TablePrinter::FormatDouble(r.seconds, 4)});
+  }
+  table.Print(std::cout);
+}
+
+void BaselineChunkAblation() {
+  PrintBanner(std::cout, "A4: Baseline chunk size");
+  TablePrinter table({"chunk", "cost (USD)", "time (s)"});
+  const size_t n = slade_bench::FastMode() ? 1'000 : 10'000;
+  auto workload = MakeHomogeneousWorkload(DatasetKind::kJelly, n, 0.9, 20);
+  for (uint32_t chunk : {16u, 32u, 48u, 64u, 96u}) {
+    SolverOptions options;
+    options.baseline_chunk_size = chunk;
+    BaselineSolver solver(options);
+    TimedSolve r = RunSolver(solver, workload->task, workload->profile);
+    table.AddRow({std::to_string(chunk),
+                  TablePrinter::FormatDouble(r.cost, 2),
+                  TablePrinter::FormatDouble(r.seconds, 4)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation benchmarks (see DESIGN.md, experiment A1).\n";
+  OpqPruningAblation();
+  GreedyStrategyAblation();
+  BaselineColumnAblation();
+  BaselineChunkAblation();
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Adaptive-decomposition benchmark (our extension; DESIGN.md experiment
+// A5): static vs. closed-loop planning under profile miscalibration.
+//
+// Sweep the confidence inflation of the requester's believed profile and
+// report, for the static single-round plan and the adaptive loop:
+// cost, measured positive recall, and the final confidence-estimate error.
+// Also sweeps the prior-practice Fixed-Cardinality solver as a context
+// series for the same workloads (all correctly calibrated).
+
+#include <iostream>
+
+#include "adaptive/adaptive_decomposer.h"
+#include "bench_util.h"
+#include "solver/baseline_solver.h"
+#include "solver/budget_solver.h"
+#include "solver/fixed_cardinality_solver.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace slade;
+
+Result<BinProfile> Inflate(const BinProfile& honest, double inflation) {
+  std::vector<TaskBin> bins;
+  for (uint32_t l = 1; l <= honest.max_cardinality(); ++l) {
+    TaskBin b = honest.bin(l);
+    b.confidence =
+        std::min(0.995, b.confidence + inflation * (1 - b.confidence));
+    bins.push_back(b);
+  }
+  return BinProfile::Create(std::move(bins));
+}
+
+void MiscalibrationSweep() {
+  PrintBanner(std::cout,
+              "A5a: static vs adaptive under profile miscalibration "
+              "(SMIC, n=2000, t=0.95)");
+  TablePrinter table({"inflation", "static cost", "static recall",
+                      "adaptive cost", "adaptive recall",
+                      "adaptive rounds", "final conf. error"});
+  const size_t n = slade_bench::FastMode() ? 500 : 2000;
+  const BinProfile honest = BuildProfile(SmicModel(), 15).ValueOrDie();
+  auto task = CrowdsourcingTask::Homogeneous(n, 0.95).ValueOrDie();
+
+  for (double inflation : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    auto believed = Inflate(honest, inflation);
+    if (!believed.ok()) {
+      std::cerr << believed.status().ToString() << "\n";
+      std::exit(1);
+    }
+    std::vector<bool> truth(n);
+    Xoshiro256 rng(314159);
+    for (size_t i = 0; i < n; ++i) truth[i] = rng.NextBernoulli(0.5);
+
+    PlatformConfig config;
+    config.model = SmicModel();
+    config.seed = 2718;
+    config.skill_sigma = 0.0;
+
+    AdaptiveOptions static_options;
+    static_options.max_rounds = 1;
+    Platform static_platform(config);
+    auto static_report = RunAdaptiveDecomposition(
+        static_platform, task, *believed, truth, static_options);
+
+    AdaptiveOptions adaptive_options;
+    adaptive_options.max_rounds = 6;
+    Platform adaptive_platform(config);
+    auto adaptive_report = RunAdaptiveDecomposition(
+        adaptive_platform, task, *believed, truth, adaptive_options);
+
+    if (!static_report.ok() || !adaptive_report.ok()) {
+      std::cerr << "adaptive benchmark failed\n";
+      std::exit(1);
+    }
+    table.AddRow(
+        {TablePrinter::FormatDouble(inflation, 1),
+         TablePrinter::FormatDouble(static_report->total_cost, 2),
+         TablePrinter::FormatDouble(static_report->positive_recall, 4),
+         TablePrinter::FormatDouble(adaptive_report->total_cost, 2),
+         TablePrinter::FormatDouble(adaptive_report->positive_recall, 4),
+         std::to_string(adaptive_report->rounds),
+         TablePrinter::FormatDouble(
+             adaptive_report->round_stats.back().max_confidence_error,
+             3)});
+  }
+  table.Print(std::cout);
+}
+
+void PriorPracticeSweep() {
+  PrintBanner(std::cout,
+              "A5b: SLADE vs prior practice (single fixed cardinality), "
+              "SMIC, n=10000");
+  TablePrinter table({"t", "Fixed(best l)", "Fixed(l=1)", "Fixed(l=20)",
+                      "OPQ-Based", "saving vs best fixed"});
+  const size_t n = slade_bench::FastMode() ? 1000 : 10'000;
+  FixedCardinalitySolver best_fixed;
+  FixedCardinalitySolver singletons(1);
+  FixedCardinalitySolver maximal(20);
+  auto opq = MakeSolver(SolverKind::kOpq);
+  for (double t : {0.90, 0.95, 0.97, 0.99}) {
+    auto workload = MakeHomogeneousWorkload(DatasetKind::kSmic, n, t, 20);
+    auto a = slade_bench::RunSolver(best_fixed, workload->task,
+                                    workload->profile);
+    auto b = slade_bench::RunSolver(singletons, workload->task,
+                                    workload->profile);
+    auto c = slade_bench::RunSolver(maximal, workload->task,
+                                    workload->profile);
+    auto d = slade_bench::RunSolver(*opq, workload->task,
+                                    workload->profile);
+    const double saving = 100.0 * (a.cost - d.cost) / a.cost;
+    table.AddRow({TablePrinter::FormatDouble(t, 2),
+                  TablePrinter::FormatDouble(a.cost, 2),
+                  TablePrinter::FormatDouble(b.cost, 2),
+                  TablePrinter::FormatDouble(c.cost, 2),
+                  TablePrinter::FormatDouble(d.cost, 2),
+                  TablePrinter::FormatDouble(saving, 1) + "%"});
+  }
+  table.Print(std::cout);
+}
+
+void BudgetSweep() {
+  PrintBanner(std::cout,
+              "A5c: budget-constrained dual (max reliability a budget "
+              "buys), Jelly, n=10000");
+  TablePrinter table({"budget (USD)", "best t", "plan cost"});
+  const size_t n = slade_bench::FastMode() ? 1000 : 10'000;
+  const double scale = static_cast<double>(n) / 10'000.0;
+  const BinProfile profile = BuildProfile(JellyModel(), 20).ValueOrDie();
+  for (double budget : {60.0, 90.0, 120.0, 200.0, 400.0}) {
+    auto result =
+        MaxReliabilityUnderBudget(n, profile, budget * scale);
+    if (!result.ok()) {
+      table.AddRow({TablePrinter::FormatDouble(budget * scale, 2),
+                    "infeasible", "-"});
+      continue;
+    }
+    table.AddRow({TablePrinter::FormatDouble(budget * scale, 2),
+                  TablePrinter::FormatDouble(result->threshold, 4),
+                  TablePrinter::FormatDouble(result->cost, 2)});
+  }
+  table.Print(std::cout);
+}
+
+void ParallelBaselineSweep() {
+  PrintBanner(std::cout, "A5d: baseline chunk parallelism (threads vs time)");
+  TablePrinter table({"threads", "time (s)", "cost (USD)"});
+  const size_t n = slade_bench::FastMode() ? 2000 : 20'000;
+  auto workload = MakeHomogeneousWorkload(DatasetKind::kJelly, n, 0.9, 20);
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    SolverOptions options;
+    options.baseline_threads = threads;
+    BaselineSolver solver(options);
+    auto r = slade_bench::RunSolver(solver, workload->task,
+                                    workload->profile);
+    table.AddRow({std::to_string(threads),
+                  TablePrinter::FormatDouble(r.seconds, 4),
+                  TablePrinter::FormatDouble(r.cost, 2)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Adaptive decomposition + prior-practice benchmarks "
+               "(extensions beyond the paper).\n";
+  MiscalibrationSweep();
+  PriorPracticeSweep();
+  BudgetSweep();
+  ParallelBaselineSweep();
+  return 0;
+}

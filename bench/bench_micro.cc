@@ -1,0 +1,172 @@
+// google-benchmark micro benchmarks for the hot paths of the library
+// (experiment M1 in DESIGN.md). Run in Release mode for meaningful numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "binmodel/profile_model.h"
+#include "binmodel/reliability.h"
+#include "common/math_util.h"
+#include "common/random.h"
+#include "inference/truth_inference.h"
+#include "solver/budget_solver.h"
+#include "solver/greedy_solver.h"
+#include "solver/opq_builder.h"
+#include "solver/opq_solver.h"
+#include "solver/plan_validator.h"
+#include "solver/simplex.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace slade;
+
+void BM_LogReduction(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  double p = rng.NextDouble(0.5, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LogReduction(p));
+  }
+}
+BENCHMARK(BM_LogReduction);
+
+void BM_OpqBuild(benchmark::State& state) {
+  const BinProfile profile =
+      BuildProfile(JellyModel(), static_cast<uint32_t>(state.range(0)))
+          .ValueOrDie();
+  for (auto _ : state) {
+    auto opq = BuildOpq(profile, 0.95);
+    benchmark::DoNotOptimize(opq);
+  }
+}
+BENCHMARK(BM_OpqBuild)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_OpqSolve(benchmark::State& state) {
+  auto workload = MakeHomogeneousWorkload(
+      DatasetKind::kJelly, static_cast<size_t>(state.range(0)), 0.9, 20);
+  OpqSolver solver;
+  for (auto _ : state) {
+    auto plan = solver.Solve(workload->task, workload->profile);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OpqSolve)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_GreedySolveHomogeneous(benchmark::State& state) {
+  auto workload = MakeHomogeneousWorkload(
+      DatasetKind::kJelly, static_cast<size_t>(state.range(0)), 0.9, 20);
+  GreedySolver solver;
+  for (auto _ : state) {
+    auto plan = solver.Solve(workload->task, workload->profile);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GreedySolveHomogeneous)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_GreedySolveHeterogeneous(benchmark::State& state) {
+  ThresholdSpec spec;
+  spec.family = ThresholdFamily::kNormal;
+  auto workload = MakeHeterogeneousWorkload(
+      DatasetKind::kJelly, static_cast<size_t>(state.range(0)), spec, 20,
+      11);
+  GreedySolver solver;
+  for (auto _ : state) {
+    auto plan = solver.Solve(workload->task, workload->profile);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GreedySolveHeterogeneous)->Arg(1'000)->Arg(10'000);
+
+void BM_PlanValidation(benchmark::State& state) {
+  auto workload = MakeHomogeneousWorkload(
+      DatasetKind::kJelly, static_cast<size_t>(state.range(0)), 0.9, 20);
+  OpqSolver solver;
+  auto plan = solver.Solve(workload->task, workload->profile);
+  for (auto _ : state) {
+    auto report = ValidatePlan(*plan, workload->task, workload->profile);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_PlanValidation)->Arg(10'000);
+
+void BM_SimplexChunkLp(benchmark::State& state) {
+  // A covering LP shaped like one baseline chunk: 48 rows, ~150 columns.
+  const size_t rows = 48, cols = 150;
+  LpProblem p;
+  p.b.assign(rows, 2.3);
+  p.c.resize(cols);
+  p.a.assign(rows, std::vector<double>(cols, 0.0));
+  Xoshiro256 rng(5);
+  for (size_t j = 0; j < cols; ++j) {
+    p.c[j] = rng.NextDouble(0.05, 0.3);
+    const size_t span = 1 + rng.NextBounded(12);
+    const size_t start = rng.NextBounded(rows);
+    for (size_t k = 0; k < span; ++k) {
+      p.a[(start + k) % rows][j] = rng.NextDouble(1.0, 2.5);
+    }
+  }
+  for (size_t i = 0; i < rows; ++i) p.a[i][i % cols] = 2.0;
+  for (auto _ : state) {
+    auto sol = SolveCoveringLp(p);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_SimplexChunkLp);
+
+void BM_DawidSkene(benchmark::State& state) {
+  // 500 tasks x 5 answers from 50 workers.
+  Xoshiro256 rng(3);
+  std::vector<WorkerAnswer> answers;
+  for (TaskId t = 0; t < 500; ++t) {
+    const bool truth = rng.NextBernoulli(0.5);
+    for (int k = 0; k < 5; ++k) {
+      const uint32_t w = static_cast<uint32_t>(rng.NextBounded(50));
+      const bool correct = rng.NextBernoulli(0.8);
+      answers.push_back(WorkerAnswer{w, t, correct ? truth : !truth});
+    }
+  }
+  for (auto _ : state) {
+    auto result = DawidSkeneBinary(answers, 500);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DawidSkene);
+
+void BM_MajorityVote(benchmark::State& state) {
+  Xoshiro256 rng(4);
+  std::vector<WorkerAnswer> answers;
+  for (TaskId t = 0; t < 2000; ++t) {
+    for (int k = 0; k < 5; ++k) {
+      answers.push_back(WorkerAnswer{
+          static_cast<uint32_t>(rng.NextBounded(100)), t,
+          rng.NextBernoulli(0.6)});
+    }
+  }
+  for (auto _ : state) {
+    auto result = MajorityVote(answers, 2000);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_MajorityVote);
+
+void BM_BudgetBisection(benchmark::State& state) {
+  const BinProfile profile = BuildProfile(JellyModel(), 12).ValueOrDie();
+  for (auto _ : state) {
+    auto result = MaxReliabilityUnderBudget(1000, profile, 12.0);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BudgetBisection);
+
+void BM_ReliabilityEvaluation(benchmark::State& state) {
+  const BinProfile profile = BuildProfile(JellyModel(), 20).ValueOrDie();
+  std::vector<uint32_t> cardinalities = {20, 20, 13, 7, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Reliability(profile, cardinalities));
+  }
+}
+BENCHMARK(BM_ReliabilityEvaluation);
+
+}  // namespace

@@ -1,0 +1,61 @@
+// Shared helpers for the figure-reproduction benchmark harnesses.
+
+#ifndef SLADE_BENCH_BENCH_UTIL_H_
+#define SLADE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "solver/plan_validator.h"
+#include "solver/solver.h"
+
+namespace slade_bench {
+
+struct TimedSolve {
+  double cost = 0.0;
+  double seconds = 0.0;
+  bool feasible = false;
+};
+
+/// Solves, times, validates; aborts the harness on solver failure (a
+/// failed figure run should be loud, not silently skipped).
+inline TimedSolve RunSolver(slade::Solver& solver,
+                            const slade::CrowdsourcingTask& task,
+                            const slade::BinProfile& profile) {
+  slade::Stopwatch watch;
+  auto plan = solver.Solve(task, profile);
+  TimedSolve out;
+  out.seconds = watch.ElapsedSeconds();
+  if (!plan.ok()) {
+    std::cerr << solver.name() << " failed: " << plan.status().ToString()
+              << "\n";
+    std::exit(1);
+  }
+  out.cost = plan->TotalCost(profile);
+  auto report = slade::ValidatePlan(*plan, task, profile);
+  if (!report.ok()) {
+    std::cerr << solver.name()
+              << " produced a malformed plan: "
+              << report.status().ToString() << "\n";
+    std::exit(1);
+  }
+  out.feasible = report->feasible;
+  if (!out.feasible) {
+    std::cerr << "WARNING: " << solver.name()
+              << " plan infeasible (margin " << report->worst_log_margin
+              << ")\n";
+  }
+  return out;
+}
+
+/// True when SLADE_BENCH_FAST is set: harnesses shrink their sweeps for
+/// quick iteration during development.
+inline bool FastMode() { return std::getenv("SLADE_BENCH_FAST") != nullptr; }
+
+}  // namespace slade_bench
+
+#endif  // SLADE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,90 @@
+// Adaptive requester: what happens when the calibrated profile is wrong.
+//
+// A requester calibrates bin confidences from last month's probes, but the
+// worker pool has degraded (or the task got harder). A static SLADE plan
+// silently under-delivers reliability. The adaptive decomposer
+// (src/adaptive/) monitors quality on-line -- gold probes plus the
+// pairwise-agreement estimator -- re-estimates the profile and tops up the
+// shortfall.
+
+#include <cstdio>
+#include <iostream>
+
+#include "adaptive/adaptive_decomposer.h"
+#include "binmodel/profile_model.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace slade;
+
+  // The platform's true behaviour: SMIC-grade workers.
+  PlatformConfig config;
+  config.model = SmicModel();
+  config.seed = 4242;
+  config.skill_sigma = 0.15;
+
+  // The requester's *believed* profile: confidences inflated by stale
+  // calibration (workers used to be better).
+  const uint32_t m = 15;
+  const BinProfile honest = BuildProfile(SmicModel(), m).ValueOrDie();
+  std::vector<TaskBin> inflated;
+  for (uint32_t l = 1; l <= m; ++l) {
+    TaskBin b = honest.bin(l);
+    b.confidence = std::min(0.995, b.confidence + 0.6 * (1 - b.confidence));
+    inflated.push_back(b);
+  }
+  const BinProfile believed =
+      BinProfile::Create(std::move(inflated)).ValueOrDie();
+
+  auto task = CrowdsourcingTask::Homogeneous(3000, 0.95);
+  std::vector<bool> truth(task->size());
+  Xoshiro256 rng(99);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = rng.NextBernoulli(0.35);
+  }
+
+  std::printf("Task: %s; believed r(1)=%.3f vs true r(1)=%.3f\n\n",
+              task->ToString().c_str(), believed.bin(1).confidence,
+              honest.bin(1).confidence);
+
+  TablePrinter table({"Strategy", "Rounds", "Cost (USD)", "Recall",
+                      "Max conf. error"});
+
+  {
+    Platform platform(config);
+    AdaptiveOptions static_options;
+    static_options.max_rounds = 1;
+    auto report = RunAdaptiveDecomposition(platform, *task, believed, truth,
+                                           static_options);
+    if (!report.ok()) {
+      std::cerr << report.status().ToString() << "\n";
+      return 1;
+    }
+    table.AddRow({"Static (round 1 only)", std::to_string(report->rounds),
+                  TablePrinter::FormatDouble(report->total_cost, 2),
+                  TablePrinter::FormatDouble(report->positive_recall, 4),
+                  TablePrinter::FormatDouble(
+                      report->round_stats.back().max_confidence_error, 3)});
+  }
+  {
+    Platform platform(config);
+    AdaptiveOptions adaptive_options;
+    adaptive_options.max_rounds = 6;
+    auto report = RunAdaptiveDecomposition(platform, *task, believed, truth,
+                                           adaptive_options);
+    if (!report.ok()) {
+      std::cerr << report.status().ToString() << "\n";
+      return 1;
+    }
+    table.AddRow({"Adaptive (top-up rounds)", std::to_string(report->rounds),
+                  TablePrinter::FormatDouble(report->total_cost, 2),
+                  TablePrinter::FormatDouble(report->positive_recall, 4),
+                  TablePrinter::FormatDouble(
+                      report->round_stats.back().max_confidence_error, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nThe adaptive run spends more than the (under-provisioned) "
+               "static plan but\nrestores the 0.95 reliability target and "
+               "ends with near-true confidence\nestimates.\n";
+  return 0;
+}

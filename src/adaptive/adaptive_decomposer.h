@@ -1,0 +1,108 @@
+// Copyright (c) the SLADE reproduction authors.
+//
+// Adaptive (closed-loop) decomposition. The paper plans against a bin
+// profile calibrated up front and notes that marketplaces "use a set of
+// different task bins as real-time probes to monitor the quality of the
+// current work flow" (Section 3.1). This module closes that loop without
+// ground truth:
+//
+//   repeat up to max_rounds:
+//     1. plan the *residual* reliability demands with the current
+//        confidence estimates (any SLADE solver);
+//     2. post the plan's bins on the platform and collect answers, plus a
+//        small batch of gold probe bins per cardinality;
+//     3. re-estimate per-cardinality confidences by pooling (a) gold-probe
+//        correctness (unbiased, ground truth known) and (b) the pairwise-
+//        agreement moment estimator over real tasks that collected
+//        multiple answers at the same cardinality (consistent without
+//        ground truth -- see inference/truth_inference.h), smoothed by the
+//        same power-law regression as offline calibration;
+//     4. recompute every task's delivered log-reliability under the NEW
+//        estimates; tasks short of their threshold carry a residual into
+//        the next round.
+//
+// A statically executed plan under a miscalibrated profile either misses
+// its reliability target (over-estimated confidences) or over-pays
+// (under-estimated); the adaptive loop converges to the true profile and
+// tops up exactly the shortfall. bench_adaptive quantifies this.
+
+#ifndef SLADE_ADAPTIVE_ADAPTIVE_DECOMPOSER_H_
+#define SLADE_ADAPTIVE_ADAPTIVE_DECOMPOSER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "binmodel/calibration.h"
+#include "binmodel/task.h"
+#include "binmodel/task_bin.h"
+#include "common/result.h"
+#include "inference/truth_inference.h"
+#include "simulator/platform.h"
+#include "solver/solver.h"
+
+namespace slade {
+
+/// \brief Knobs for the adaptive loop.
+struct AdaptiveOptions {
+  /// Planning/posting rounds (>= 1). Round 1 is the static plan; further
+  /// rounds only run while some task is short of its threshold under the
+  /// latest confidence estimates.
+  uint32_t max_rounds = 4;
+  /// Planner used each round.
+  SolverKind solver = SolverKind::kOpqExtended;
+  /// Answers required (across all cardinalities) before the confidence
+  /// estimates are revised; below this the initial profile is trusted.
+  uint64_t min_answers_for_recalibration = 400;
+  /// Gold probe bins posted per cardinality per round (the paper's
+  /// "testing task bins ... the ground truth is known"). Probes anchor the
+  /// confidence estimates without the agreement bias of inferred truth:
+  /// when redundancy is low, workers who agree on a wrong answer *define*
+  /// the inferred label, so agreement-rate systematically overestimates
+  /// confidence. 0 disables probing (inference-only monitoring).
+  uint32_t probes_per_cardinality_per_round = 4;
+  /// Worker assignments collected per gold probe bin.
+  int probe_assignments = 2;
+  SolverOptions solver_options;
+  uint64_t probe_seed = 0xAB12CD34ULL;
+};
+
+/// \brief Per-round bookkeeping.
+struct AdaptiveRoundStats {
+  uint64_t bins_posted = 0;
+  double cost = 0.0;
+  /// Tasks still short of threshold after re-estimation.
+  size_t unsatisfied_after = 0;
+  /// Largest |estimated - true| confidence over the profile, using the
+  /// platform's analytic model as truth (evaluation only).
+  double max_confidence_error = 0.0;
+};
+
+/// \brief Outcome of an adaptive run.
+struct AdaptiveReport {
+  double total_cost = 0.0;
+  uint32_t rounds = 0;
+  std::vector<AdaptiveRoundStats> round_stats;
+  /// Final per-cardinality confidence estimates (index l-1).
+  std::vector<double> final_confidences;
+  /// Fraction of ground-truth-positive tasks detected at least once
+  /// across all rounds (the paper's reliability notion, measured).
+  double positive_recall = 0.0;
+  /// Tasks still short of threshold when the loop stopped.
+  size_t unsatisfied = 0;
+};
+
+/// \brief Runs the adaptive loop.
+///
+/// `initial_profile` provides the cost schedule (costs are contractual and
+/// known exactly) and the *initial* confidence estimates, which may be
+/// wrong; `ground_truth` is used for posting bins (the platform needs the
+/// true labels to generate answers) and for the final recall figure; the
+/// loop itself never reads it for estimation.
+Result<AdaptiveReport> RunAdaptiveDecomposition(
+    Platform& platform, const CrowdsourcingTask& task,
+    const BinProfile& initial_profile, const std::vector<bool>& ground_truth,
+    const AdaptiveOptions& options = {});
+
+}  // namespace slade
+
+#endif  // SLADE_ADAPTIVE_ADAPTIVE_DECOMPOSER_H_

@@ -1,0 +1,161 @@
+#include "binmodel/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace slade {
+
+double CountingEstimate(const ProbeObservation& obs) {
+  return (static_cast<double>(obs.correct) + 1.0) /
+         (static_cast<double>(obs.total) + 2.0);
+}
+
+Result<PowerLawConfidenceFit> PowerLawConfidenceFit::Fit(
+    const std::vector<ProbeObservation>& observations) {
+  // Weighted least squares on y = ln(failure), x = ln(l).
+  double sw = 0, swx = 0, swy = 0, swxx = 0, swxy = 0;
+  std::map<uint32_t, bool> seen;
+  for (const ProbeObservation& obs : observations) {
+    if (obs.cardinality == 0 || obs.total == 0) continue;
+    seen[obs.cardinality] = true;
+    const double r_hat = CountingEstimate(obs);
+    const double failure = std::clamp(1.0 - r_hat, 1e-6, 1.0 - 1e-6);
+    const double x = std::log(static_cast<double>(obs.cardinality));
+    const double y = std::log(failure);
+    const double w = static_cast<double>(obs.total);
+    sw += w;
+    swx += w * x;
+    swy += w * y;
+    swxx += w * x * x;
+    swxy += w * x * y;
+  }
+  if (seen.size() < 2) {
+    return Status::InvalidArgument(
+        "power-law fit needs probes at >= 2 distinct cardinalities");
+  }
+  const double denom = sw * swxx - swx * swx;
+  if (std::fabs(denom) < 1e-12) {
+    return Status::Internal("degenerate design matrix in power-law fit");
+  }
+  const double power = (sw * swxy - swx * swy) / denom;
+  const double intercept = (swy - power * swx) / sw;
+  return PowerLawConfidenceFit(std::exp(intercept), power);
+}
+
+double PowerLawConfidenceFit::Predict(uint32_t l) const {
+  const double failure =
+      failure_base_ * std::pow(static_cast<double>(l), failure_power_);
+  return std::clamp(1.0 - failure, 1e-6, 1.0 - 1e-6);
+}
+
+namespace {
+
+// Linear interpolation/extrapolation of bin costs over cardinality from the
+// probed (l, cost) pairs.
+double InterpolateCost(const std::map<uint32_t, double>& costs, uint32_t l) {
+  auto it = costs.find(l);
+  if (it != costs.end()) return it->second;
+  auto hi = costs.lower_bound(l);
+  if (hi == costs.begin()) {
+    // Extrapolate below the smallest probed cardinality via the first two
+    // points (or flat if only one).
+    auto first = costs.begin();
+    auto second = std::next(first);
+    if (second == costs.end()) return first->second;
+    const double slope = (second->second - first->second) /
+                         (static_cast<double>(second->first) -
+                          static_cast<double>(first->first));
+    return first->second +
+           slope * (static_cast<double>(l) -
+                    static_cast<double>(first->first));
+  }
+  if (hi == costs.end()) {
+    auto last = std::prev(costs.end());
+    if (last == costs.begin()) return last->second;
+    auto before = std::prev(last);
+    const double slope = (last->second - before->second) /
+                         (static_cast<double>(last->first) -
+                          static_cast<double>(before->first));
+    return last->second +
+           slope * (static_cast<double>(l) -
+                    static_cast<double>(last->first));
+  }
+  auto lo = std::prev(hi);
+  const double frac = (static_cast<double>(l) -
+                       static_cast<double>(lo->first)) /
+                      (static_cast<double>(hi->first) -
+                       static_cast<double>(lo->first));
+  return lo->second + frac * (hi->second - lo->second);
+}
+
+}  // namespace
+
+Result<BinProfile> CalibrateProfile(
+    const std::vector<ProbeObservation>& observations, uint32_t m,
+    CalibrationMethod method) {
+  if (m == 0) return Status::InvalidArgument("calibration needs m >= 1");
+
+  // Merge multiple observations at the same cardinality.
+  std::map<uint32_t, ProbeObservation> merged;
+  for (const ProbeObservation& obs : observations) {
+    if (obs.cardinality == 0 || obs.cardinality > m || obs.total == 0) {
+      continue;
+    }
+    ProbeObservation& slot = merged[obs.cardinality];
+    if (slot.total == 0) {
+      slot = obs;
+    } else {
+      slot.total += obs.total;
+      slot.correct += obs.correct;
+      // Keep the cheaper in-time cost if probes tried several price points.
+      slot.bin_cost = std::min(slot.bin_cost, obs.bin_cost);
+    }
+  }
+  if (merged.empty()) {
+    return Status::InvalidArgument("no usable probe observations");
+  }
+
+  std::map<uint32_t, double> costs;
+  for (const auto& [l, obs] : merged) costs[l] = obs.bin_cost;
+
+  std::vector<TaskBin> bins;
+  bins.reserve(m);
+
+  if (method == CalibrationMethod::kCounting) {
+    for (uint32_t l = 1; l <= m; ++l) {
+      auto it = merged.find(l);
+      if (it == merged.end()) {
+        return Status::InvalidArgument(
+            "counting calibration needs probes at every cardinality; "
+            "missing l=" + std::to_string(l));
+      }
+      TaskBin b;
+      b.cardinality = l;
+      b.confidence = CountingEstimate(it->second);
+      b.cost = it->second.bin_cost;
+      bins.push_back(b);
+    }
+  } else {
+    std::vector<ProbeObservation> flat;
+    flat.reserve(merged.size());
+    for (const auto& [l, obs] : merged) flat.push_back(obs);
+    SLADE_ASSIGN_OR_RETURN(PowerLawConfidenceFit fit,
+                           PowerLawConfidenceFit::Fit(flat));
+    for (uint32_t l = 1; l <= m; ++l) {
+      TaskBin b;
+      b.cardinality = l;
+      b.confidence = fit.Predict(l);
+      b.cost = InterpolateCost(costs, l);
+      if (b.cost <= 0.0) {
+        return Status::InvalidArgument(
+            "cost interpolation produced non-positive cost at l=" +
+            std::to_string(l) + "; probe a wider cardinality range");
+      }
+      bins.push_back(b);
+    }
+  }
+  return BinProfile::Create(std::move(bins));
+}
+
+}  // namespace slade

@@ -1,0 +1,89 @@
+// Copyright (c) the SLADE reproduction authors.
+//
+// Probe-based bin-profile calibration (paper Section 3.1): "when a batch of
+// atomic tasks arrives, one can regularly issue testing task bins with
+// different cardinalities. The atomic tasks in testing task bins are the
+// same as the real tasks, yet the ground truth is known to calculate the
+// confidence. ... the confidence can be obtained by regression or counting
+// methods."
+//
+// This module implements both estimators. The probe *data* comes from the
+// platform simulator (src/simulator/probe_runner.h) in this reproduction,
+// but the estimators only see (cardinality, correct, total) counts and work
+// unchanged against a live platform.
+
+#ifndef SLADE_BINMODEL_CALIBRATION_H_
+#define SLADE_BINMODEL_CALIBRATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "binmodel/task_bin.h"
+#include "common/result.h"
+
+namespace slade {
+
+/// \brief Aggregated outcome of probe bins at one cardinality.
+struct ProbeObservation {
+  uint32_t cardinality = 0;
+  /// Total atomic-task answers collected at this cardinality.
+  uint64_t total = 0;
+  /// How many of them matched the known ground truth.
+  uint64_t correct = 0;
+  /// Incentive cost per probe bin (becomes c_l of the calibrated profile).
+  double bin_cost = 0.0;
+};
+
+/// \brief Direct counting estimator with Laplace (add-one) smoothing:
+/// `r_hat = (correct + 1) / (total + 2)`.
+///
+/// Smoothing keeps the estimate inside (0, 1) -- a raw 100%-correct probe
+/// would otherwise produce r = 1 and an infinite log weight.
+double CountingEstimate(const ProbeObservation& obs);
+
+/// \brief Power-law regression estimator.
+///
+/// Fits `ln(1 - r) = ln B + p * ln l` by ordinary least squares over all
+/// observations (each weighted by its answer count), then predicts the
+/// failure probability for any cardinality. This matches the generative
+/// model of profile_model.h and smooths per-cardinality sampling noise; it
+/// can also extrapolate to cardinalities that were never probed.
+class PowerLawConfidenceFit {
+ public:
+  /// Fits the model. Needs >= 2 distinct cardinalities with at least one
+  /// answer each; observations with zero errors contribute via smoothing.
+  static Result<PowerLawConfidenceFit> Fit(
+      const std::vector<ProbeObservation>& observations);
+
+  /// Predicted confidence at cardinality `l`, clamped into (0, 1).
+  double Predict(uint32_t l) const;
+
+  double failure_base() const { return failure_base_; }   ///< fitted B
+  double failure_power() const { return failure_power_; } ///< fitted p
+
+ private:
+  PowerLawConfidenceFit(double base, double power)
+      : failure_base_(base), failure_power_(power) {}
+  double failure_base_;
+  double failure_power_;
+};
+
+/// \brief Strategy used by `CalibrateProfile`.
+enum class CalibrationMethod {
+  kCounting,    ///< per-cardinality counting estimate
+  kRegression,  ///< power-law fit shared across cardinalities
+};
+
+/// \brief Builds a solver-facing `BinProfile` from probe outcomes.
+///
+/// Observations must cover every cardinality 1..m for `kCounting`; for
+/// `kRegression` any >= 2 distinct probed cardinalities suffice and the
+/// missing ones are interpolated. Costs for unprobed cardinalities are
+/// linearly interpolated between the nearest probed ones.
+Result<BinProfile> CalibrateProfile(
+    const std::vector<ProbeObservation>& observations, uint32_t m,
+    CalibrationMethod method);
+
+}  // namespace slade
+
+#endif  // SLADE_BINMODEL_CALIBRATION_H_

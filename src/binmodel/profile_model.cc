@@ -1,0 +1,126 @@
+#include "binmodel/profile_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slade {
+
+const char* DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kJelly:
+      return "Jelly";
+    case DatasetKind::kSmic:
+      return "SMIC";
+  }
+  return "?";
+}
+
+DatasetModel JellyModel(int difficulty) {
+  DatasetModel m;
+  m.name = "Jelly";
+  // Fit of 1-r = B * l^p to Fig. 3a (cost 0.1 curve): r(2)=0.981,
+  // r(30)=0.783  =>  p = ln(0.217/0.019)/ln(15) ~= 0.899,
+  // B = 0.019 / 2^0.899 ~= 0.0102.
+  m.failure_base = 0.0102;
+  m.failure_power = 0.899;
+  // Fig. 3c difficulty levels: 50 / 200 / 400 dots.
+  m.difficulty_factor = (difficulty <= 1) ? 0.6 : (difficulty == 2 ? 1.0 : 1.6);
+  // Penalty calibrated on the Fig. 3a cost-0.05 curve: 1-r ~= 0.16 at
+  // l=14 needs a 1.46x failure multiplier at half the reference pay.
+  m.cost_ref = 0.10;
+  m.pay_penalty = 0.92;
+  // In-time cutoffs 14 @ $0.05, 24 @ $0.08, 30 @ $0.1 all sit at a per-task
+  // wage of ~$0.0033.
+  m.min_wage = 0.0033;
+  m.max_feasible_cardinality = 30;
+  m.timeout_minutes = 40.0;
+  m.assignments_required = 10;
+  m.posting_overhead = 0.045;
+  m.wage_margin = 1.2;
+  return m;
+}
+
+DatasetModel SmicModel() {
+  DatasetModel m;
+  m.name = "SMIC";
+  // Fit to Fig. 3b (cost 0.2 curve): r(2) ~= 0.88, r(30) ~= 0.62.
+  m.failure_base = 0.0893;
+  m.failure_power = 0.426;
+  m.difficulty_factor = 1.0;
+  m.cost_ref = 0.20;
+  m.pay_penalty = 0.6;
+  // Micro-expression labelling is slower work; workers demand more per task.
+  m.min_wage = 0.006;
+  m.max_feasible_cardinality = 30;
+  m.timeout_minutes = 30.0;
+  m.assignments_required = 10;
+  m.posting_overhead = 0.05;
+  m.wage_margin = 1.2;
+  return m;
+}
+
+DatasetModel MakeModel(DatasetKind kind) {
+  return kind == DatasetKind::kJelly ? JellyModel() : SmicModel();
+}
+
+double ModelConfidence(const DatasetModel& model, uint32_t l,
+                       double bin_cost) {
+  const double ll = static_cast<double>(l);
+  double penalty = 1.0;
+  if (bin_cost < model.cost_ref) {
+    penalty +=
+        model.pay_penalty * (model.cost_ref - bin_cost) / model.cost_ref;
+  }
+  const double failure = model.failure_base * model.difficulty_factor *
+                         std::pow(ll, model.failure_power) * penalty;
+  const double r = 1.0 - failure;
+  return std::clamp(r, model.min_confidence, model.max_confidence);
+}
+
+double ModelCompletionMinutes(const DatasetModel& model, uint32_t l,
+                              double bin_cost) {
+  const double per_task_pay = bin_cost / static_cast<double>(l);
+  // Worker arrival rate grows linearly with the per-task wage and is
+  // normalized so that a bin paying exactly min_wage collects its
+  // assignments exactly at the timeout.
+  const double rate_at_min =
+      static_cast<double>(model.assignments_required) / model.timeout_minutes;
+  const double rate = rate_at_min * (per_task_pay / model.min_wage);
+  if (rate <= 0.0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(model.assignments_required) / rate;
+}
+
+bool ModelInTime(const DatasetModel& model, uint32_t l, double bin_cost) {
+  if (l == 0 || l > model.max_feasible_cardinality) return false;
+  return ModelCompletionMinutes(model, l, bin_cost) <=
+         model.timeout_minutes + 1e-12;
+}
+
+double ModelBinCost(const DatasetModel& model, uint32_t l) {
+  return model.posting_overhead +
+         model.min_wage * model.wage_margin * static_cast<double>(l);
+}
+
+Result<BinProfile> BuildProfile(const DatasetModel& model, uint32_t m) {
+  if (m == 0) {
+    return Status::InvalidArgument("profile needs m >= 1");
+  }
+  if (m > model.max_feasible_cardinality) {
+    return Status::OutOfRange(
+        "dataset " + model.name + " supports cardinality up to " +
+        std::to_string(model.max_feasible_cardinality) + ", requested " +
+        std::to_string(m));
+  }
+  std::vector<TaskBin> bins;
+  bins.reserve(m);
+  for (uint32_t l = 1; l <= m; ++l) {
+    TaskBin b;
+    b.cardinality = l;
+    b.cost = ModelBinCost(model, l);
+    b.confidence = ModelConfidence(model, l, b.cost);
+    bins.push_back(b);
+  }
+  return BinProfile::Create(std::move(bins));
+}
+
+}  // namespace slade

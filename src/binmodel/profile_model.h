@@ -1,0 +1,126 @@
+// Copyright (c) the SLADE reproduction authors.
+//
+// Parametric worker-behaviour models for the paper's two AMT datasets,
+// "Jelly-Beans-in-a-Jar" (Jelly) and "Micro-Expressions Identification"
+// (SMIC). The paper measured, on live Amazon Mechanical Turk:
+//
+//   * per-atomic-task confidence r declining with bin cardinality l
+//     (Fig. 3: Jelly 0.981 at l=2 down to 0.783 at l=30);
+//   * a mild extra confidence drop at lower pay;
+//   * a sharp *quantity* effect of pay: bins paying less than a per-task
+//     minimum wage do not finish within the response-time threshold
+//     (Jelly: cost 0.05 in-time only up to l=14, cost 0.1 up to l=30 --
+//     both cutoffs sit at ~0.0033 USD per atomic task).
+//
+// We cannot run AMT, so this module is the substitution (see DESIGN.md §4):
+// a closed-form model with the failure probability growing as a power law
+// of cardinality, `1 - r(l) = B * l^p * payPenalty`, whose parameters are
+// fitted to the Fig. 3 curves. The simulator (src/simulator) draws worker
+// answers from the same model, so calibration, planning and execution all
+// see one consistent "platform".
+
+#ifndef SLADE_BINMODEL_PROFILE_MODEL_H_
+#define SLADE_BINMODEL_PROFILE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "binmodel/task_bin.h"
+#include "common/result.h"
+
+namespace slade {
+
+/// \brief Identifies one of the paper's evaluation datasets.
+enum class DatasetKind {
+  kJelly,
+  kSmic,
+};
+
+const char* DatasetKindName(DatasetKind kind);
+
+/// \brief Closed-form worker-behaviour model for one dataset/difficulty.
+///
+/// Confidence:
+///   `r(l, c) = 1 - B * d * l^p * (1 + q * max(0, (c_ref - c)/c_ref))`
+/// clamped into [min_confidence, max_confidence]. The penalty term keys
+/// off the *bin* incentive `c` relative to the dataset's reference
+/// incentive `c_ref` -- Fig. 3 plots one confidence curve per bin cost,
+/// and the curves separate mildly by cost ("the confidence of crowd
+/// workers tend to be less sensitive to the drop in cost").
+///
+/// Timeliness: a bin finishes within `timeout_minutes` iff the per-task
+/// pay `c / l >= min_wage` and `l <= max_feasible_cardinality` (the
+/// *quantity* of workers is what reacts sharply to pay).
+struct DatasetModel {
+  std::string name;
+  /// Failure-probability scale `B` (at l=1, reference pay, difficulty 1.0).
+  double failure_base = 0.0102;
+  /// Failure-probability growth exponent `p` in `B * l^p`.
+  double failure_power = 0.899;
+  /// Difficulty multiplier `d` on the failure probability (Fig. 3c).
+  double difficulty_factor = 1.0;
+  /// Bin incentive at/above which no pay penalty applies (`c_ref`).
+  double cost_ref = 0.10;
+  /// Pay-penalty strength `q`.
+  double pay_penalty = 0.92;
+  /// Per-task minimum wage for in-time completion (`u_min`).
+  double min_wage = 0.0033;
+  /// Hard cardinality cap (webpage length / worker patience).
+  uint32_t max_feasible_cardinality = 30;
+  /// Response-time threshold (40 min for Jelly, 30 for SMIC).
+  double timeout_minutes = 40.0;
+  /// Assignments collected per bin in the motivation experiments.
+  int assignments_required = 10;
+  /// Fixed platform/posting overhead per bin used when building solver
+  /// profiles (the "minimum cost that meets the response time requirement"
+  /// of Section 3.1 plus the per-HIT fee).
+  double posting_overhead = 0.045;
+  /// Safety multiplier over min_wage when choosing profile costs.
+  double wage_margin = 1.2;
+  /// Confidence clamps.
+  double min_confidence = 0.02;
+  double max_confidence = 0.995;
+};
+
+/// \brief The Jelly-Beans-in-a-Jar model (Fig. 3a). `difficulty` in
+/// {1, 2, 3} maps to the 50/200/400-dot sample images of Fig. 3c
+/// (failure multipliers 0.6 / 1.0 / 1.6).
+DatasetModel JellyModel(int difficulty = 2);
+
+/// \brief The Micro-Expressions (SMIC) model (Fig. 3b): lower base
+/// confidence, pricier minimum wage, 30-minute timeout.
+DatasetModel SmicModel();
+
+/// \brief Dispatches to JellyModel(2) / SmicModel().
+DatasetModel MakeModel(DatasetKind kind);
+
+/// \brief Analytic per-atomic-task confidence for a bin of cardinality `l`
+/// posted at total incentive `bin_cost` (the solid/dotted curves of Fig. 3).
+double ModelConfidence(const DatasetModel& model, uint32_t l,
+                       double bin_cost);
+
+/// \brief True iff a bin of cardinality `l` at incentive `bin_cost`
+/// collects all required assignments within the dataset's timeout
+/// (solid vs. dotted portions of Fig. 3).
+bool ModelInTime(const DatasetModel& model, uint32_t l, double bin_cost);
+
+/// \brief Expected completion time in minutes for one bin (used by the
+/// simulator's arrival process and by ModelInTime).
+double ModelCompletionMinutes(const DatasetModel& model, uint32_t l,
+                              double bin_cost);
+
+/// \brief The minimum in-time incentive for a bin of cardinality `l`
+/// including the wage margin -- the cost rule of Section 3.1 ("the cost for
+/// each cardinality is calculated as the minimum cost that meets the
+/// response time requirement").
+double ModelBinCost(const DatasetModel& model, uint32_t l);
+
+/// \brief Builds the solver-facing bin profile `B = {b_1..b_m}` for the
+/// dataset: for each cardinality, cost from ModelBinCost and confidence from
+/// ModelConfidence at that cost. Fails if `m` is 0 or exceeds the model's
+/// feasible cardinality.
+Result<BinProfile> BuildProfile(const DatasetModel& model, uint32_t m);
+
+}  // namespace slade
+
+#endif  // SLADE_BINMODEL_PROFILE_MODEL_H_

@@ -1,0 +1,36 @@
+#include "binmodel/reliability.h"
+
+namespace slade {
+
+double Reliability(const std::vector<double>& assigned_confidences) {
+  // Accumulate in the log domain: with many assigned bins the direct
+  // product underflows the failure probability before the reliability
+  // rounds to 1, and the log form matches the Equation 2 reduction used by
+  // all solvers.
+  double theta = 0.0;
+  for (double r : assigned_confidences) theta += LogReduction(r);
+  return InverseLogReduction(theta);
+}
+
+double Reliability(const BinProfile& profile,
+                   const std::vector<uint32_t>& assigned_cardinalities) {
+  double theta = 0.0;
+  for (uint32_t l : assigned_cardinalities) {
+    theta += profile.bin(l).log_weight();
+  }
+  return InverseLogReduction(theta);
+}
+
+double ReliabilityReduction(const std::vector<double>& assigned_confidences) {
+  double theta = 0.0;
+  for (double r : assigned_confidences) theta += LogReduction(r);
+  return theta;
+}
+
+bool MeetsThreshold(const std::vector<double>& assigned_confidences,
+                    double t) {
+  return ApproxGe(ReliabilityReduction(assigned_confidences),
+                  LogReduction(t));
+}
+
+}  // namespace slade

@@ -1,0 +1,36 @@
+// Copyright (c) the SLADE reproduction authors.
+// Reliability of an atomic task under a set of assigned bins
+// (paper Definition 2 and the Section 4.1 log reduction).
+
+#ifndef SLADE_BINMODEL_RELIABILITY_H_
+#define SLADE_BINMODEL_RELIABILITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "binmodel/task_bin.h"
+#include "common/math_util.h"
+
+namespace slade {
+
+/// \brief Reliability `Rel(a_i, B(a_i)) = 1 - prod(1 - r_|beta|)` of an
+/// atomic task assigned to bins with the given confidences (Equation 1).
+double Reliability(const std::vector<double>& assigned_confidences);
+
+/// \brief Reliability from cardinalities: looks up each cardinality's
+/// confidence in `profile` (Equation 1).
+double Reliability(const BinProfile& profile,
+                   const std::vector<uint32_t>& assigned_cardinalities);
+
+/// \brief The equivalent log-domain reduction
+/// `R(a_i, B(a_i)) = sum(-ln(1 - r_|beta|))` (Equation 2).
+double ReliabilityReduction(const std::vector<double>& assigned_confidences);
+
+/// \brief True iff a task assigned these confidences meets threshold `t`,
+/// i.e. `Rel >= t`, evaluated in the log domain for numerical robustness.
+bool MeetsThreshold(const std::vector<double>& assigned_confidences,
+                    double t);
+
+}  // namespace slade
+
+#endif  // SLADE_BINMODEL_RELIABILITY_H_

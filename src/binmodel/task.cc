@@ -1,0 +1,58 @@
+#include "binmodel/task.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace slade {
+
+CrowdsourcingTask::CrowdsourcingTask(std::vector<double> thresholds)
+    : thresholds_(std::move(thresholds)) {
+  thetas_.reserve(thresholds_.size());
+  min_threshold_ = thresholds_.front();
+  max_threshold_ = thresholds_.front();
+  for (double t : thresholds_) {
+    thetas_.push_back(LogReduction(t));
+    min_threshold_ = std::min(min_threshold_, t);
+    max_threshold_ = std::max(max_threshold_, t);
+    if (t != thresholds_.front()) homogeneous_ = false;
+  }
+}
+
+Result<CrowdsourcingTask> CrowdsourcingTask::Homogeneous(size_t n, double t) {
+  if (n == 0) {
+    return Status::InvalidArgument("a crowdsourcing task needs n > 0");
+  }
+  if (!(t > 0.0 && t < 1.0)) {
+    return Status::InvalidArgument(
+        "reliability threshold must be in (0, 1), got " + std::to_string(t));
+  }
+  return CrowdsourcingTask(std::vector<double>(n, t));
+}
+
+Result<CrowdsourcingTask> CrowdsourcingTask::FromThresholds(
+    std::vector<double> thresholds) {
+  if (thresholds.empty()) {
+    return Status::InvalidArgument("a crowdsourcing task needs n > 0");
+  }
+  for (double t : thresholds) {
+    if (!(t > 0.0 && t < 1.0)) {
+      return Status::InvalidArgument(
+          "reliability threshold must be in (0, 1), got " +
+          std::to_string(t));
+    }
+  }
+  return CrowdsourcingTask(std::move(thresholds));
+}
+
+std::string CrowdsourcingTask::ToString() const {
+  char buf[96];
+  if (homogeneous_) {
+    std::snprintf(buf, sizeof(buf), "n=%zu, t=%g", size(), min_threshold_);
+  } else {
+    std::snprintf(buf, sizeof(buf), "n=%zu, t in [%g, %g]", size(),
+                  min_threshold_, max_threshold_);
+  }
+  return buf;
+}
+
+}  // namespace slade

@@ -1,0 +1,71 @@
+// Copyright (c) the SLADE reproduction authors.
+// Atomic tasks and large-scale crowdsourcing tasks (paper Section 3.1).
+
+#ifndef SLADE_BINMODEL_TASK_H_
+#define SLADE_BINMODEL_TASK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/result.h"
+
+namespace slade {
+
+/// Identifier of an atomic task inside a large-scale crowdsourcing task:
+/// the index into `CrowdsourcingTask` (0-based).
+using TaskId = uint32_t;
+
+/// \brief A large-scale crowdsourcing task `T = {a_1..a_n}` with per-atomic-
+/// task reliability thresholds `t_i` (paper Definition 3).
+///
+/// Atomic tasks are boolean questions (e.g. "is there a fishing line in this
+/// image?") that are independent of each other; the only per-task state the
+/// optimizer needs is the reliability threshold, so the representation is a
+/// dense threshold vector indexed by TaskId.
+class CrowdsourcingTask {
+ public:
+  /// Builds a homogeneous task: `n` atomic tasks all with threshold `t`.
+  /// Fails unless 0 < t < 1 and n > 0.
+  static Result<CrowdsourcingTask> Homogeneous(size_t n, double t);
+
+  /// Builds a heterogeneous task from explicit thresholds.
+  /// Fails unless every threshold is in (0, 1) and the vector is non-empty.
+  static Result<CrowdsourcingTask> FromThresholds(
+      std::vector<double> thresholds);
+
+  /// Number of atomic tasks `n = |T|`.
+  size_t size() const { return thresholds_.size(); }
+
+  /// Reliability threshold `t_i` of atomic task `id`.
+  double threshold(TaskId id) const { return thresholds_[id]; }
+
+  /// Log-domain threshold `theta_i = -ln(1 - t_i)` (Equation 2).
+  double theta(TaskId id) const { return thetas_[id]; }
+
+  const std::vector<double>& thresholds() const { return thresholds_; }
+  const std::vector<double>& thetas() const { return thetas_; }
+
+  /// True iff all thresholds are equal (the homogeneous SLADE variant).
+  bool is_homogeneous() const { return homogeneous_; }
+
+  double min_threshold() const { return min_threshold_; }
+  double max_threshold() const { return max_threshold_; }
+
+  /// "n=10000, t=0.9" or "n=10000, t in [0.81, 0.97]".
+  std::string ToString() const;
+
+ private:
+  explicit CrowdsourcingTask(std::vector<double> thresholds);
+
+  std::vector<double> thresholds_;
+  std::vector<double> thetas_;
+  bool homogeneous_ = true;
+  double min_threshold_ = 0.0;
+  double max_threshold_ = 0.0;
+};
+
+}  // namespace slade
+
+#endif  // SLADE_BINMODEL_TASK_H_

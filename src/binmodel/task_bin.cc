@@ -1,0 +1,81 @@
+#include "binmodel/task_bin.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace slade {
+
+std::string TaskBin::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "b%u <l=%u, r=%g, c=%g>", cardinality,
+                cardinality, confidence, cost);
+  return buf;
+}
+
+BinProfile::BinProfile(std::vector<TaskBin> bins) : bins_(std::move(bins)) {
+  for (const TaskBin& b : bins_) {
+    max_log_weight_ = std::max(max_log_weight_, b.log_weight());
+    max_confidence_ = std::max(max_confidence_, b.confidence);
+  }
+}
+
+Result<BinProfile> BinProfile::Create(std::vector<TaskBin> bins) {
+  if (bins.empty()) {
+    return Status::InvalidArgument("bin profile must contain at least b1");
+  }
+  for (size_t i = 0; i < bins.size(); ++i) {
+    const TaskBin& b = bins[i];
+    if (b.cardinality != i + 1) {
+      return Status::InvalidArgument(
+          "bin profile cardinalities must be exactly 1..m; slot " +
+          std::to_string(i + 1) + " holds cardinality " +
+          std::to_string(b.cardinality));
+    }
+    if (!(b.confidence > 0.0 && b.confidence < 1.0)) {
+      return Status::InvalidArgument(
+          "bin confidence must be in (0, 1), got " +
+          std::to_string(b.confidence) + " at cardinality " +
+          std::to_string(b.cardinality));
+    }
+    if (!(b.cost > 0.0)) {
+      return Status::InvalidArgument("bin cost must be > 0, got " +
+                                     std::to_string(b.cost) +
+                                     " at cardinality " +
+                                     std::to_string(b.cardinality));
+    }
+  }
+  return BinProfile(std::move(bins));
+}
+
+BinProfile BinProfile::PaperExample() {
+  std::vector<TaskBin> bins = {
+      {1, 0.90, 0.10},
+      {2, 0.85, 0.18},
+      {3, 0.80, 0.24},
+  };
+  auto result = Create(std::move(bins));
+  return std::move(result).ValueOrDie();
+}
+
+Result<BinProfile> BinProfile::Truncated(uint32_t max_l) const {
+  if (max_l == 0 || max_l > bins_.size()) {
+    return Status::OutOfRange("cannot truncate profile of m=" +
+                              std::to_string(bins_.size()) + " to " +
+                              std::to_string(max_l));
+  }
+  std::vector<TaskBin> prefix(bins_.begin(), bins_.begin() + max_l);
+  return Create(std::move(prefix));
+}
+
+std::string BinProfile::ToString() const {
+  std::string out = "BinProfile (m=" + std::to_string(bins_.size()) + ")\n";
+  char buf[96];
+  for (const TaskBin& b : bins_) {
+    std::snprintf(buf, sizeof(buf), "  l=%2u  r=%.4f  c=%.4f  c/l=%.4f\n",
+                  b.cardinality, b.confidence, b.cost, b.cost_per_task());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace slade

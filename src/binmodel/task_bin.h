@@ -1,0 +1,95 @@
+// Copyright (c) the SLADE reproduction authors.
+// l-cardinality task bins and bin profiles (paper Definition 1, Table 1).
+
+#ifndef SLADE_BINMODEL_TASK_BIN_H_
+#define SLADE_BINMODEL_TASK_BIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/result.h"
+
+namespace slade {
+
+/// \brief An l-cardinality task bin `b_l = <l, r_l, c_l>` (Definition 1).
+///
+/// Posting one instance of the bin sends up to `l` distinct atomic tasks to
+/// a single crowd worker; each contained task is answered correctly with
+/// probability `confidence`, and the requester pays `cost` for the bin.
+struct TaskBin {
+  /// Maximum number of distinct atomic tasks in the bin (`l >= 1`).
+  uint32_t cardinality = 0;
+  /// Per-atomic-task success probability `r_l`, in (0, 1).
+  double confidence = 0.0;
+  /// Incentive cost `c_l` paid per posted bin instance, > 0.
+  double cost = 0.0;
+
+  /// Log-domain reliability contribution per atomic task:
+  /// `w_l = -ln(1 - r_l)` (Equation 2).
+  double log_weight() const { return LogReduction(confidence); }
+
+  /// Average incentive cost per contained atomic task, `c_l / l`.
+  double cost_per_task() const {
+    return cost / static_cast<double>(cardinality);
+  }
+
+  /// "b3 <l=3, r=0.8, c=0.24>".
+  std::string ToString() const;
+};
+
+/// \brief The set of available task bins `B = {b_1..b_m}`, indexed by
+/// cardinality 1..m (paper Table 1).
+///
+/// Invariants enforced at construction:
+///  * cardinalities are exactly 1..m with no gaps (the paper's `B` always
+///    offers every cardinality up to the maximum, see Section 7 "maximum
+///    cardinality |B|");
+///  * every confidence is in (0, 1) and every cost is positive.
+///
+/// The profile deliberately does NOT require monotone confidence/cost: a
+/// calibrated profile from noisy probes may be locally non-monotone, and all
+/// solvers remain correct (they only read `(l, r_l, c_l)` triples).
+class BinProfile {
+ public:
+  /// Validates and adopts `bins`. `bins[i]` must have cardinality i+1.
+  static Result<BinProfile> Create(std::vector<TaskBin> bins);
+
+  /// The paper's running-example profile (Table 1):
+  /// b1=<1,0.9,0.1>, b2=<2,0.85,0.18>, b3=<3,0.8,0.24>.
+  static BinProfile PaperExample();
+
+  /// Number of distinct bins `m = |B|` (== maximum cardinality).
+  size_t size() const { return bins_.size(); }
+  uint32_t max_cardinality() const {
+    return static_cast<uint32_t>(bins_.size());
+  }
+
+  /// The l-cardinality bin (1-based `l`, as in the paper).
+  const TaskBin& bin(uint32_t l) const { return bins_[l - 1]; }
+  const std::vector<TaskBin>& bins() const { return bins_; }
+
+  /// Largest per-task log contribution over all bins; > 0 by construction.
+  double max_log_weight() const { return max_log_weight_; }
+  /// Largest confidence over all bins.
+  double max_confidence() const { return max_confidence_; }
+
+  /// Returns a copy truncated to bins of cardinality <= `max_l` (used by
+  /// the |B| sweep of Figures 6e-6h). Fails if max_l is 0 or exceeds m.
+  Result<BinProfile> Truncated(uint32_t max_l) const;
+
+  /// Multi-line human-readable rendering (mirrors Table 1).
+  std::string ToString() const;
+
+ private:
+  explicit BinProfile(std::vector<TaskBin> bins);
+
+  std::vector<TaskBin> bins_;
+  double max_log_weight_ = 0.0;
+  double max_confidence_ = 0.0;
+};
+
+}  // namespace slade
+
+#endif  // SLADE_BINMODEL_TASK_BIN_H_

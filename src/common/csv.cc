@@ -1,0 +1,57 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+namespace slade {
+
+Status CsvWriter::Open(const std::string& path,
+                       const std::vector<std::string>& header) {
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  return WriteRow(header);
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (!out_.is_open()) return Status::IOError("CSV writer not open");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << Escape(cells[i]);
+  }
+  out_ << '\n';
+  if (!out_.good()) return Status::IOError("CSV write failed");
+  return Status::OK();
+}
+
+Status CsvWriter::WriteRow(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    cells.emplace_back(buf);
+  }
+  return WriteRow(cells);
+}
+
+Status CsvWriter::Close() {
+  if (!out_.is_open()) return Status::IOError("CSV writer not open");
+  out_.close();
+  if (out_.fail()) return Status::IOError("CSV close failed");
+  return Status::OK();
+}
+
+}  // namespace slade

@@ -1,0 +1,43 @@
+// Copyright (c) the SLADE reproduction authors.
+// Tiny CSV writer so benchmark harnesses can optionally dump machine-readable
+// series next to the human-readable tables.
+
+#ifndef SLADE_COMMON_CSV_H_
+#define SLADE_COMMON_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace slade {
+
+/// \brief Writes rows of cells as RFC-4180-ish CSV (quotes cells containing
+/// commas, quotes or newlines).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Fails with IOError if the file cannot be opened.
+  Status Open(const std::string& path,
+              const std::vector<std::string>& header);
+
+  /// Appends one row of cells.
+  Status WriteRow(const std::vector<std::string>& cells);
+
+  /// Appends a row of doubles formatted with %.6g.
+  Status WriteRow(const std::vector<double>& values);
+
+  /// Flushes and closes the file; further writes fail.
+  Status Close();
+
+  bool is_open() const { return out_.is_open(); }
+
+ private:
+  static std::string Escape(const std::string& cell);
+  std::ofstream out_;
+};
+
+}  // namespace slade
+
+#endif  // SLADE_COMMON_CSV_H_

@@ -1,0 +1,134 @@
+#include "common/distributions.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace slade {
+
+std::string UniformDistribution::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "Uniform(%g, %g)", lo_, hi_);
+  return buf;
+}
+
+double NormalDistribution::Sample(Xoshiro256& rng) const {
+  // Marsaglia polar method; the second variate is discarded to keep each
+  // call stateless (determinism across call sites matters more here than
+  // halving the RNG draws).
+  double u, v, s;
+  do {
+    u = rng.NextDouble(-1.0, 1.0);
+    v = rng.NextDouble(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  return mu_ + sigma_ * (u * factor);
+}
+
+std::string NormalDistribution::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "Normal(%g, %g)", mu_, sigma_);
+  return buf;
+}
+
+double ParetoDistribution::Sample(Xoshiro256& rng) const {
+  // Inverse transform: x_m / U^{1/alpha}, U ~ Uniform(0,1].
+  double u = 1.0 - rng.NextDouble();  // in (0, 1]
+  return x_m_ / std::pow(u, 1.0 / alpha_);
+}
+
+double ParetoDistribution::Mean() const {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * x_m_ / (alpha_ - 1.0);
+}
+
+std::string ParetoDistribution::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "Pareto(%g, %g)", x_m_, alpha_);
+  return buf;
+}
+
+double ExponentialDistribution::Sample(Xoshiro256& rng) const {
+  double u = 1.0 - rng.NextDouble();  // in (0, 1]
+  return -std::log(u) / lambda_;
+}
+
+std::string ExponentialDistribution::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "Exponential(%g)", lambda_);
+  return buf;
+}
+
+double ClampedDistribution::Sample(Xoshiro256& rng) const {
+  double x = inner_->Sample(rng);
+  if (x < lo_) return lo_;
+  if (x > hi_) return hi_;
+  return x;
+}
+
+std::string ClampedDistribution::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "Clamp(%s, [%g, %g])",
+                inner_->ToString().c_str(), lo_, hi_);
+  return buf;
+}
+
+Result<std::shared_ptr<RealDistribution>> MakeDistribution(
+    const std::string& spec) {
+  auto colon = spec.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("distribution spec missing ':': " + spec);
+  }
+  const std::string name = spec.substr(0, colon);
+  const std::string args = spec.substr(colon + 1);
+  double a = 0.0, b = 0.0;
+  const int matched =
+      std::sscanf(args.c_str(), "%lf,%lf", &a, &b);
+  if (name == "uniform") {
+    if (matched != 2) {
+      return Status::InvalidArgument("uniform needs LO,HI: " + spec);
+    }
+    if (a >= b) return Status::InvalidArgument("uniform needs LO < HI");
+    return std::shared_ptr<RealDistribution>(new UniformDistribution(a, b));
+  }
+  if (name == "normal") {
+    if (matched != 2) {
+      return Status::InvalidArgument("normal needs MU,SIGMA: " + spec);
+    }
+    if (b < 0) return Status::InvalidArgument("normal needs SIGMA >= 0");
+    return std::shared_ptr<RealDistribution>(new NormalDistribution(a, b));
+  }
+  if (name == "pareto") {
+    if (matched != 2) {
+      return Status::InvalidArgument("pareto needs XM,ALPHA: " + spec);
+    }
+    if (a <= 0 || b <= 0) {
+      return Status::InvalidArgument("pareto needs XM, ALPHA > 0");
+    }
+    return std::shared_ptr<RealDistribution>(new ParetoDistribution(a, b));
+  }
+  if (name == "exponential") {
+    if (matched < 1 || a <= 0) {
+      return Status::InvalidArgument("exponential needs LAMBDA > 0: " + spec);
+    }
+    return std::shared_ptr<RealDistribution>(
+        new ExponentialDistribution(a));
+  }
+  return Status::InvalidArgument("unknown distribution: " + name);
+}
+
+std::vector<double> SampleClamped(const RealDistribution& dist, size_t n,
+                                  double lo, double hi, Xoshiro256& rng) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x = dist.Sample(rng);
+    if (x < lo) x = lo;
+    if (x > hi) x = hi;
+    out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace slade

@@ -1,0 +1,140 @@
+// Copyright (c) the SLADE reproduction authors.
+// Deterministic sampling distributions used by the workload generators and
+// the platform simulator. We implement these ourselves (instead of <random>)
+// so that a given seed produces the same stream on every platform/compiler.
+
+#ifndef SLADE_COMMON_DISTRIBUTIONS_H_
+#define SLADE_COMMON_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace slade {
+
+/// \brief Interface for a real-valued sampling distribution.
+class RealDistribution {
+ public:
+  virtual ~RealDistribution() = default;
+
+  /// Draws one sample using `rng`.
+  virtual double Sample(Xoshiro256& rng) const = 0;
+
+  /// Expected value of the distribution (used by statistical tests).
+  virtual double Mean() const = 0;
+
+  /// Human-readable description, e.g. "Normal(0.9, 0.03)".
+  virtual std::string ToString() const = 0;
+};
+
+/// \brief Uniform distribution on [lo, hi).
+class UniformDistribution final : public RealDistribution {
+ public:
+  UniformDistribution(double lo, double hi) : lo_(lo), hi_(hi) {}
+
+  double Sample(Xoshiro256& rng) const override {
+    return rng.NextDouble(lo_, hi_);
+  }
+  double Mean() const override { return (lo_ + hi_) / 2.0; }
+  std::string ToString() const override;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// \brief Normal distribution N(mu, sigma^2), sampled via the Marsaglia
+/// polar method (deterministic; no cached state so each call is independent
+/// given the RNG stream position).
+class NormalDistribution final : public RealDistribution {
+ public:
+  NormalDistribution(double mu, double sigma) : mu_(mu), sigma_(sigma) {}
+
+  double Sample(Xoshiro256& rng) const override;
+  double Mean() const override { return mu_; }
+  std::string ToString() const override;
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// \brief Pareto (type I) heavy-tailed distribution with scale `x_m` and
+/// shape `alpha`. Used for the paper's "heavy tailed" threshold experiments.
+class ParetoDistribution final : public RealDistribution {
+ public:
+  ParetoDistribution(double x_m, double alpha) : x_m_(x_m), alpha_(alpha) {}
+
+  double Sample(Xoshiro256& rng) const override;
+  double Mean() const override;
+  std::string ToString() const override;
+
+  double x_m() const { return x_m_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double x_m_;
+  double alpha_;
+};
+
+/// \brief Exponential distribution with rate `lambda` (mean 1/lambda).
+/// Used for Poisson worker-arrival inter-arrival times in the simulator.
+class ExponentialDistribution final : public RealDistribution {
+ public:
+  explicit ExponentialDistribution(double lambda) : lambda_(lambda) {}
+
+  double Sample(Xoshiro256& rng) const override;
+  double Mean() const override { return 1.0 / lambda_; }
+  std::string ToString() const override;
+
+  double lambda() const { return lambda_; }
+
+ private:
+  double lambda_;
+};
+
+/// \brief Wraps any distribution and clamps samples into [lo, hi].
+///
+/// The paper draws reliability thresholds from Normal(0.9, 0.03); a raw
+/// normal can produce t >= 1 (infinite theta) or t <= 0, so experiment code
+/// always samples thresholds through a clamp.
+class ClampedDistribution final : public RealDistribution {
+ public:
+  ClampedDistribution(std::shared_ptr<const RealDistribution> inner,
+                      double lo, double hi)
+      : inner_(std::move(inner)), lo_(lo), hi_(hi) {}
+
+  double Sample(Xoshiro256& rng) const override;
+  double Mean() const override { return inner_->Mean(); }  // approximate
+  std::string ToString() const override;
+
+ private:
+  std::shared_ptr<const RealDistribution> inner_;
+  double lo_;
+  double hi_;
+};
+
+/// \brief Parses a distribution spec string.
+///
+/// Accepted forms: "uniform:LO,HI", "normal:MU,SIGMA", "pareto:XM,ALPHA",
+/// "exponential:LAMBDA". Used by benchmark/example CLIs.
+Result<std::shared_ptr<RealDistribution>> MakeDistribution(
+    const std::string& spec);
+
+/// \brief Draws `n` samples from `dist` clamped to [lo, hi].
+std::vector<double> SampleClamped(const RealDistribution& dist, size_t n,
+                                  double lo, double hi, Xoshiro256& rng);
+
+}  // namespace slade
+
+#endif  // SLADE_COMMON_DISTRIBUTIONS_H_

@@ -1,0 +1,49 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace slade {
+
+Histogram::Histogram(double lo, double hi, size_t num_buckets)
+    : lo_(lo), hi_(hi), counts_(num_buckets == 0 ? 1 : num_buckets, 0) {}
+
+void Histogram::Add(double x) {
+  const double span = hi_ - lo_;
+  size_t idx = 0;
+  if (span > 0) {
+    double frac = (x - lo_) / span;
+    if (frac < 0) frac = 0;
+    if (frac >= 1) frac = std::nextafter(1.0, 0.0);
+    idx = static_cast<size_t>(frac * static_cast<double>(counts_.size()));
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::bucket_lo(size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(size_t i) const { return bucket_lo(i + 1); }
+
+std::string Histogram::ToAscii(size_t width) const {
+  size_t max_count = 1;
+  for (size_t c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  char buf[96];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const size_t bars = counts_[i] * width / max_count;
+    std::snprintf(buf, sizeof(buf), "[%8.4f, %8.4f) %8zu ",
+                  bucket_lo(i), bucket_hi(i), counts_[i]);
+    out += buf;
+    out += std::string(bars, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace slade

@@ -1,0 +1,43 @@
+// Copyright (c) the SLADE reproduction authors.
+
+#ifndef SLADE_COMMON_HISTOGRAM_H_
+#define SLADE_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace slade {
+
+/// \brief Fixed-range equal-width histogram. Used by tests and example
+/// programs to summarize threshold distributions and measured reliability.
+class Histogram {
+ public:
+  /// Buckets the range [lo, hi] into `num_buckets` equal-width bins.
+  /// Values outside the range are clamped into the first/last bucket.
+  Histogram(double lo, double hi, size_t num_buckets);
+
+  void Add(double x);
+
+  size_t total_count() const { return total_; }
+  size_t bucket_count(size_t i) const { return counts_.at(i); }
+  size_t num_buckets() const { return counts_.size(); }
+
+  /// Lower edge of bucket `i`.
+  double bucket_lo(size_t i) const;
+  /// Upper edge of bucket `i`.
+  double bucket_hi(size_t i) const;
+
+  /// Renders an ASCII bar chart, `width` characters for the largest bucket.
+  std::string ToAscii(size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace slade
+
+#endif  // SLADE_COMMON_HISTOGRAM_H_

@@ -1,0 +1,103 @@
+// Copyright (c) the SLADE reproduction authors.
+// Minimal leveled logging + CHECK macros, RocksDB/Arrow flavoured.
+
+#ifndef SLADE_COMMON_LOGGING_H_
+#define SLADE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace slade {
+
+/// \brief Severity levels for the logger.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// \brief Process-wide logging configuration.
+class Logger {
+ public:
+  /// Sets the minimum level that will be emitted. Defaults to kInfo.
+  static void SetMinLevel(LogLevel level);
+  static LogLevel min_level();
+
+  /// True iff a message at `level` would be emitted.
+  static bool IsEnabled(LogLevel level) {
+    return static_cast<int>(level) >= static_cast<int>(min_level());
+  }
+};
+
+namespace internal {
+
+/// Accumulates one log line and flushes it (with level prefix) on
+/// destruction. Fatal messages abort the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression when the log level is disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace slade
+
+#define SLADE_LOG_INTERNAL(level)                                \
+  ::slade::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define SLADE_LOG(severity)                                          \
+  (!::slade::Logger::IsEnabled(::slade::LogLevel::k##severity))      \
+      ? (void)0                                                      \
+      : (void)(SLADE_LOG_INTERNAL(::slade::LogLevel::k##severity)    \
+               << "")
+
+// Stream-style logging: SLADE_DLOG() << "x = " << x;
+#define SLADE_DLOG() SLADE_LOG_INTERNAL(::slade::LogLevel::kDebug)
+#define SLADE_ILOG() SLADE_LOG_INTERNAL(::slade::LogLevel::kInfo)
+#define SLADE_WLOG() SLADE_LOG_INTERNAL(::slade::LogLevel::kWarning)
+#define SLADE_ELOG() SLADE_LOG_INTERNAL(::slade::LogLevel::kError)
+
+/// Internal invariant check: always on (used in library internals where a
+/// violation is a programming error, not a user error).
+#define SLADE_CHECK(cond)                                               \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::slade::internal::LogMessage(::slade::LogLevel::kFatal,          \
+                                    __FILE__, __LINE__)                 \
+              .stream()                                                 \
+          << "Check failed: " #cond;                                    \
+    }                                                                   \
+  } while (false)
+
+#define SLADE_CHECK_OK(expr)                                            \
+  do {                                                                  \
+    ::slade::Status _st = (expr);                                       \
+    if (!_st.ok()) {                                                    \
+      ::slade::internal::LogMessage(::slade::LogLevel::kFatal,          \
+                                    __FILE__, __LINE__)                 \
+              .stream()                                                 \
+          << "Check failed (status): " << _st.ToString();               \
+    }                                                                   \
+  } while (false)
+
+#define SLADE_DCHECK(cond) assert(cond)
+
+#endif  // SLADE_COMMON_LOGGING_H_

@@ -1,0 +1,15 @@
+#include "common/math_util.h"
+
+namespace slade {
+
+uint64_t SaturatingLcm(uint64_t a, uint64_t b, uint64_t cap) {
+  if (a == 0 || b == 0) return 0;
+  const uint64_t g = Gcd(a, b);
+  const uint64_t a_over_g = a / g;
+  // a_over_g * b overflows or exceeds cap?
+  if (a_over_g > cap / b) return cap;
+  const uint64_t lcm = a_over_g * b;
+  return lcm > cap ? cap : lcm;
+}
+
+}  // namespace slade

@@ -1,0 +1,57 @@
+// Copyright (c) the SLADE reproduction authors.
+// Small numeric helpers shared across the library.
+
+#ifndef SLADE_COMMON_MATH_UTIL_H_
+#define SLADE_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+namespace slade {
+
+/// Tolerance used when comparing reliability/log-reliability quantities.
+/// The paper's constraint `Rel >= t` is evaluated in the log domain where
+/// rounding error accumulates across a handful of additions; 1e-9 is far
+/// below any meaningful reliability difference.
+inline constexpr double kRelEps = 1e-9;
+
+/// \brief The log-domain reduction of a probability: `-ln(1 - p)`
+/// (Equation 2 of the paper). Defined for p in [0, 1); returns +inf at 1.
+inline double LogReduction(double p) {
+  // -log1p(-p) is accurate for p near 0 and near 1.
+  return -std::log1p(-p);
+}
+
+/// \brief Inverse of LogReduction: probability `1 - e^{-theta}`.
+inline double InverseLogReduction(double theta) {
+  // -expm1(-theta) = 1 - e^{-theta}, accurate for small theta.
+  return -std::expm1(-theta);
+}
+
+/// \brief Greatest common divisor of two positive integers.
+inline uint64_t Gcd(uint64_t a, uint64_t b) { return std::gcd(a, b); }
+
+/// \brief Least common multiple with saturation: returns `cap` if the true
+/// LCM would exceed `cap`. The OPQ assigns LCM(..) atomic tasks per
+/// combination, so values beyond the task count are never useful and this
+/// guards against overflow for cardinalities up to 64.
+uint64_t SaturatingLcm(uint64_t a, uint64_t b,
+                       uint64_t cap = UINT64_C(1) << 62);
+
+/// \brief True iff |a - b| <= eps.
+inline bool ApproxEq(double a, double b, double eps = kRelEps) {
+  return std::fabs(a - b) <= eps;
+}
+
+/// \brief True iff a >= b - eps (tolerant greater-or-equal).
+inline bool ApproxGe(double a, double b, double eps = kRelEps) {
+  return a >= b - eps;
+}
+
+/// \brief Ceiling of a/b for positive integers.
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace slade
+
+#endif  // SLADE_COMMON_MATH_UTIL_H_

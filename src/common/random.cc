@@ -1,0 +1,22 @@
+#include "common/random.h"
+
+namespace slade {
+
+uint64_t Xoshiro256::NextBounded(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+}  // namespace slade

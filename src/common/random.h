@@ -1,0 +1,107 @@
+// Copyright (c) the SLADE reproduction authors.
+// Deterministic, fast PRNG for simulation and workload generation.
+
+#ifndef SLADE_COMMON_RANDOM_H_
+#define SLADE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace slade {
+
+/// \brief SplitMix64: used to seed the main generator and for cheap
+/// stateless hashing of seeds.
+///
+/// Reference: Steele, Lea, Flood. "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief xoshiro256** 1.0 by Blackman & Vigna: the library's workhorse
+/// generator. Deterministic across platforms, 2^256-1 period, passes BigCrush.
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept so it can be used with
+/// <random> distributions, though the library ships its own distribution
+/// implementations (distributions.h) for cross-platform determinism.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via SplitMix64 (the seeding
+  /// procedure recommended by the xoshiro authors).
+  explicit Xoshiro256(uint64_t seed = 0x5eedbeefcafef00dULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection
+  /// method (unbiased).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool NextBernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace slade
+
+#endif  // SLADE_COMMON_RANDOM_H_

@@ -1,0 +1,95 @@
+// Copyright (c) the SLADE reproduction authors.
+// `Result<T>`: a value or an error Status, in the style of arrow::Result.
+
+#ifndef SLADE_COMMON_RESULT_H_
+#define SLADE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace slade {
+
+/// \brief Holds either a successfully computed `T` or the `Status`
+/// describing why it could not be computed.
+///
+/// Usage:
+/// \code
+///   Result<Plan> r = solver.Solve(task);
+///   if (!r.ok()) return r.status();
+///   Plan plan = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    assert(!this->status().ok() && "Result constructed from OK status");
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is held, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Returns the held value; must only be called when `ok()`.
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Alias for ValueOrDie, matching arrow::Result spelling.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value if ok, otherwise `alternative`.
+  T ValueOr(T alternative) const& {
+    return ok() ? ValueOrDie() : std::move(alternative);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace slade
+
+/// Assigns the value of a `Result` expression to `lhs`, or returns its error
+/// Status from the enclosing function.
+#define SLADE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define SLADE_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define SLADE_ASSIGN_OR_RETURN_CONCAT(x, y) SLADE_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define SLADE_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SLADE_ASSIGN_OR_RETURN_IMPL(             \
+      SLADE_ASSIGN_OR_RETURN_CONCAT(_slade_result_, __LINE__), lhs, rexpr)
+
+#endif  // SLADE_COMMON_RESULT_H_

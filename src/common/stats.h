@@ -1,0 +1,63 @@
+// Copyright (c) the SLADE reproduction authors.
+// Descriptive statistics helpers for benchmarks, calibration and tests.
+
+#ifndef SLADE_COMMON_STATS_H_
+#define SLADE_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace slade {
+
+/// \brief Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long streams; used by the simulator to track
+/// per-bin empirical confidence and by benchmark harnesses to aggregate
+/// repeated runs.
+class OnlineStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel-safe combine,
+  /// Chan et al.).
+  void Merge(const OnlineStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+
+  /// Population variance (divide by n).
+  double variance() const;
+  /// Sample variance (divide by n-1); 0 when fewer than two observations.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Arithmetic mean of `xs`; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// \brief Sample standard deviation of `xs`; 0 for fewer than 2 values.
+double SampleStddev(const std::vector<double>& xs);
+
+/// \brief p-th percentile (p in [0, 100]) using linear interpolation
+/// between closest ranks. Sorts a copy; 0 for empty input.
+double Percentile(std::vector<double> xs, double p);
+
+/// \brief Two-sided Wilson score interval half-width for a Bernoulli
+/// proportion estimate `p_hat` over `n` trials at ~95% confidence.
+/// Used by simulator statistical tests to bound Monte-Carlo noise.
+double WilsonHalfWidth95(double p_hat, size_t n);
+
+}  // namespace slade
+
+#endif  // SLADE_COMMON_STATS_H_

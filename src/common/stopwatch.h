@@ -1,0 +1,35 @@
+// Copyright (c) the SLADE reproduction authors.
+
+#ifndef SLADE_COMMON_STOPWATCH_H_
+#define SLADE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace slade {
+
+/// \brief Monotonic wall-clock stopwatch used by the benchmark harnesses
+/// to report algorithm running times (the paper's Figures 6c/d/g/h/k/l,
+/// 7b/d, 8).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace slade
+
+#endif  // SLADE_COMMON_STOPWATCH_H_

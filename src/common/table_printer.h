@@ -1,0 +1,51 @@
+// Copyright (c) the SLADE reproduction authors.
+// Fixed-width table output: the benchmark harnesses print the same rows and
+// series the paper's figures plot, in a grep-friendly format.
+
+#ifndef SLADE_COMMON_TABLE_PRINTER_H_
+#define SLADE_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace slade {
+
+/// \brief Accumulates rows of string cells and prints them column-aligned.
+///
+/// \code
+///   TablePrinter t({"t", "Greedy", "OPQ-Based", "Baseline"});
+///   t.AddRow({"0.9", "612.4", "583.1", "701.9"});
+///   t.Print(std::cout);
+/// \endcode
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant decimals.
+  void AddRow(const std::string& key, const std::vector<double>& values,
+              int precision = 4);
+
+  /// Writes the aligned table (header, separator, rows).
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with fixed precision, trimming to a compact form.
+  static std::string FormatDouble(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Prints a section banner ("== Figure 6a: ... ==") so figure output
+/// is easy to locate in bench_output.txt.
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace slade
+
+#endif  // SLADE_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,117 @@
+#include "io/csv_reader.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace slade {
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_was_quoted = false;
+  bool row_has_content = false;
+
+  const size_t size = text.size();
+  for (size_t i = 0; i < size; ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < size && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!cell.empty()) {
+          return Status::InvalidArgument(
+              "quote in the middle of an unquoted cell near offset " +
+              std::to_string(i));
+        }
+        in_quotes = true;
+        cell_was_quoted = true;
+        break;
+      case ',':
+        row.push_back(std::move(cell));
+        cell.clear();
+        cell_was_quoted = false;
+        row_has_content = true;
+        break;
+      case '\r':
+        // Swallow; the following '\n' terminates the record.
+        break;
+      case '\n':
+        if (row_has_content || !cell.empty() || cell_was_quoted) {
+          row.push_back(std::move(cell));
+          cell.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+        }
+        cell_was_quoted = false;
+        row_has_content = false;
+        break;
+      default:
+        cell += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted cell");
+  }
+  if (row_has_content || !cell.empty() || cell_was_quoted) {
+    row.push_back(std::move(cell));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+Result<double> ParseDouble(const std::string& cell) {
+  if (cell.empty()) return Status::InvalidArgument("empty numeric cell");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(cell.c_str(), &end);
+  if (errno != 0 || end == cell.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not a number: '" + cell + "'");
+  }
+  return value;
+}
+
+Result<uint64_t> ParseUint(const std::string& cell) {
+  if (cell.empty()) return Status::InvalidArgument("empty numeric cell");
+  for (char c : cell) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("not a non-negative integer: '" +
+                                     cell + "'");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(cell.c_str(), &end, 10);
+  if (errno != 0 || *end != '\0') {
+    return Status::InvalidArgument("integer out of range: '" + cell + "'");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+}  // namespace slade

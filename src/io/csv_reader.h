@@ -1,0 +1,34 @@
+// Copyright (c) the SLADE reproduction authors.
+// CSV parsing for the CLI tool and profile/threshold file formats.
+
+#ifndef SLADE_IO_CSV_READER_H_
+#define SLADE_IO_CSV_READER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace slade {
+
+/// \brief Parses RFC-4180-style CSV text: comma separated, double quotes
+/// escape cells containing commas/quotes/newlines, `""` is a literal
+/// quote. CRLF and LF line endings both accepted; a trailing newline does
+/// not produce an empty record.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text);
+
+/// \brief Reads and parses a CSV file. IOError if unreadable,
+/// InvalidArgument on malformed quoting.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+/// \brief Strict double parser ("1.5e-3" ok, "1.5x" not).
+Result<double> ParseDouble(const std::string& cell);
+
+/// \brief Strict unsigned parser.
+Result<uint64_t> ParseUint(const std::string& cell);
+
+}  // namespace slade
+
+#endif  // SLADE_IO_CSV_READER_H_

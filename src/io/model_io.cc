@@ -1,0 +1,147 @@
+#include "io/model_io.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+#include "io/csv_reader.h"
+
+namespace slade {
+
+namespace {
+
+Status CheckHeader(const std::vector<std::vector<std::string>>& rows,
+                   const std::vector<std::string>& expected,
+                   const std::string& what) {
+  if (rows.empty()) {
+    return Status::InvalidArgument(what + ": empty file");
+  }
+  if (rows.front() != expected) {
+    std::string want;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      want += (i ? "," : "") + expected[i];
+    }
+    return Status::InvalidArgument(what + ": expected header '" + want +
+                                   "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BinProfile> LoadBinProfileCsv(const std::string& path) {
+  SLADE_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
+  SLADE_RETURN_NOT_OK(
+      CheckHeader(rows, {"cardinality", "confidence", "cost"}, path));
+  std::vector<TaskBin> bins;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != 3) {
+      return Status::InvalidArgument(path + ": row " + std::to_string(r) +
+                                     " needs 3 cells");
+    }
+    TaskBin bin;
+    SLADE_ASSIGN_OR_RETURN(uint64_t l, ParseUint(rows[r][0]));
+    SLADE_ASSIGN_OR_RETURN(bin.confidence, ParseDouble(rows[r][1]));
+    SLADE_ASSIGN_OR_RETURN(bin.cost, ParseDouble(rows[r][2]));
+    bin.cardinality = static_cast<uint32_t>(l);
+    bins.push_back(bin);
+  }
+  std::sort(bins.begin(), bins.end(),
+            [](const TaskBin& a, const TaskBin& b) {
+              return a.cardinality < b.cardinality;
+            });
+  return BinProfile::Create(std::move(bins));
+}
+
+Status SaveBinProfileCsv(const BinProfile& profile,
+                         const std::string& path) {
+  CsvWriter writer;
+  SLADE_RETURN_NOT_OK(
+      writer.Open(path, {"cardinality", "confidence", "cost"}));
+  char buf[64];
+  for (uint32_t l = 1; l <= profile.max_cardinality(); ++l) {
+    const TaskBin& bin = profile.bin(l);
+    std::vector<std::string> cells;
+    cells.push_back(std::to_string(l));
+    std::snprintf(buf, sizeof(buf), "%.10g", bin.confidence);
+    cells.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.10g", bin.cost);
+    cells.emplace_back(buf);
+    SLADE_RETURN_NOT_OK(writer.WriteRow(cells));
+  }
+  return writer.Close();
+}
+
+Result<CrowdsourcingTask> LoadThresholdsCsv(const std::string& path) {
+  SLADE_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
+  SLADE_RETURN_NOT_OK(CheckHeader(rows, {"threshold"}, path));
+  std::vector<double> thresholds;
+  thresholds.reserve(rows.size() - 1);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != 1) {
+      return Status::InvalidArgument(path + ": row " + std::to_string(r) +
+                                     " needs 1 cell");
+    }
+    SLADE_ASSIGN_OR_RETURN(double t, ParseDouble(rows[r][0]));
+    thresholds.push_back(t);
+  }
+  return CrowdsourcingTask::FromThresholds(std::move(thresholds));
+}
+
+Status SaveThresholdsCsv(const CrowdsourcingTask& task,
+                         const std::string& path) {
+  CsvWriter writer;
+  SLADE_RETURN_NOT_OK(writer.Open(path, {"threshold"}));
+  char buf[64];
+  for (size_t i = 0; i < task.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.10g",
+                  task.threshold(static_cast<TaskId>(i)));
+    SLADE_RETURN_NOT_OK(
+        writer.WriteRow(std::vector<std::string>{buf}));
+  }
+  return writer.Close();
+}
+
+Status SavePlanCsv(const DecompositionPlan& plan, const std::string& path) {
+  CsvWriter writer;
+  SLADE_RETURN_NOT_OK(writer.Open(path, {"cardinality", "copies", "tasks"}));
+  for (const BinPlacement& p : plan.placements()) {
+    std::string tasks;
+    for (size_t i = 0; i < p.tasks.size(); ++i) {
+      tasks += (i ? ";" : "") + std::to_string(p.tasks[i]);
+    }
+    SLADE_RETURN_NOT_OK(writer.WriteRow(std::vector<std::string>{
+        std::to_string(p.cardinality), std::to_string(p.copies), tasks}));
+  }
+  return writer.Close();
+}
+
+Result<DecompositionPlan> LoadPlanCsv(const std::string& path) {
+  SLADE_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
+  SLADE_RETURN_NOT_OK(
+      CheckHeader(rows, {"cardinality", "copies", "tasks"}, path));
+  DecompositionPlan plan;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != 3) {
+      return Status::InvalidArgument(path + ": row " + std::to_string(r) +
+                                     " needs 3 cells");
+    }
+    SLADE_ASSIGN_OR_RETURN(uint64_t cardinality, ParseUint(rows[r][0]));
+    SLADE_ASSIGN_OR_RETURN(uint64_t copies, ParseUint(rows[r][1]));
+    std::vector<TaskId> tasks;
+    const std::string& joined = rows[r][2];
+    size_t start = 0;
+    while (start < joined.size()) {
+      size_t semi = joined.find(';', start);
+      if (semi == std::string::npos) semi = joined.size();
+      SLADE_ASSIGN_OR_RETURN(
+          uint64_t id, ParseUint(joined.substr(start, semi - start)));
+      tasks.push_back(static_cast<TaskId>(id));
+      start = semi + 1;
+    }
+    plan.Add(static_cast<uint32_t>(cardinality),
+             static_cast<uint32_t>(copies), std::move(tasks));
+  }
+  return plan;
+}
+
+}  // namespace slade

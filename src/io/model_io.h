@@ -1,0 +1,42 @@
+// Copyright (c) the SLADE reproduction authors.
+// File formats for bin profiles, threshold vectors and decomposition plans,
+// shared by the CLI tool and downstream pipelines.
+
+#ifndef SLADE_IO_MODEL_IO_H_
+#define SLADE_IO_MODEL_IO_H_
+
+#include <string>
+
+#include "binmodel/task.h"
+#include "binmodel/task_bin.h"
+#include "common/result.h"
+#include "solver/plan.h"
+
+namespace slade {
+
+/// \brief Loads a bin profile from CSV with header
+/// `cardinality,confidence,cost` (rows in any order, cardinalities must
+/// form 1..m).
+Result<BinProfile> LoadBinProfileCsv(const std::string& path);
+
+/// \brief Writes a bin profile in the same format.
+Status SaveBinProfileCsv(const BinProfile& profile, const std::string& path);
+
+/// \brief Loads reliability thresholds from CSV: header `threshold`, one
+/// value per row (task ids are the row order).
+Result<CrowdsourcingTask> LoadThresholdsCsv(const std::string& path);
+
+/// \brief Writes thresholds in the same format.
+Status SaveThresholdsCsv(const CrowdsourcingTask& task,
+                         const std::string& path);
+
+/// \brief Writes a plan as CSV with header `cardinality,copies,tasks`
+/// where `tasks` is a semicolon-joined id list.
+Status SavePlanCsv(const DecompositionPlan& plan, const std::string& path);
+
+/// \brief Reads a plan written by SavePlanCsv.
+Result<DecompositionPlan> LoadPlanCsv(const std::string& path);
+
+}  // namespace slade
+
+#endif  // SLADE_IO_MODEL_IO_H_

@@ -1,0 +1,98 @@
+#include "simulator/platform.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slade {
+
+Platform::Platform(const PlatformConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+bool Platform::IsSpammer(uint32_t id) const {
+  if (config_.spammer_fraction <= 0.0) return false;
+  SplitMix64 sm(config_.seed ^ (0xD1B54A32D192ED03ULL * (id + 1)));
+  const double u = static_cast<double>(sm.Next() >> 11) * 0x1.0p-53;
+  return u < config_.spammer_fraction;
+}
+
+double Platform::WorkerSkill(uint32_t id) const {
+  if (config_.skill_sigma <= 0.0) return 1.0;
+  // Deterministic per-worker skill: hash the (seed, id) pair into a
+  // standard normal via two SplitMix64 draws and Box-Muller.
+  SplitMix64 sm(config_.seed ^ (0xA24BAED4963EE407ULL * (id + 1)));
+  const double u1 =
+      (static_cast<double>(sm.Next() >> 11) + 0.5) * 0x1.0p-53;
+  const double u2 = static_cast<double>(sm.Next() >> 11) * 0x1.0p-53;
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return std::exp(config_.skill_sigma * z);
+}
+
+Result<BinOutcome> Platform::PostBin(uint32_t cardinality, double bin_cost,
+                                     const std::vector<bool>& ground_truth,
+                                     int assignments) {
+  if (cardinality == 0) {
+    return Status::InvalidArgument("bin cardinality must be >= 1");
+  }
+  if (ground_truth.empty() || ground_truth.size() > cardinality) {
+    return Status::InvalidArgument(
+        "a bin holds between 1 and cardinality atomic tasks; got " +
+        std::to_string(ground_truth.size()) + " for cardinality " +
+        std::to_string(cardinality));
+  }
+  if (!(bin_cost > 0.0)) {
+    return Status::InvalidArgument("bin cost must be positive");
+  }
+  if (assignments < 1) {
+    return Status::InvalidArgument("need at least one assignment");
+  }
+
+  const DatasetModel& model = config_.model;
+  const double base_confidence =
+      ModelConfidence(model, cardinality, bin_cost);
+  const double base_failure = 1.0 - base_confidence;
+
+  // Pay-sensitive Poisson arrivals: the mean time for all assignments is
+  // ModelCompletionMinutes; individual arrivals are exponential.
+  const double mean_total =
+      ModelCompletionMinutes(model, cardinality, bin_cost);
+  const double per_assignment_rate =
+      static_cast<double>(assignments) / mean_total;
+
+  BinOutcome outcome;
+  outcome.assignments.reserve(assignments);
+  double clock = 0.0;
+  for (int a = 0; a < assignments; ++a) {
+    // Inter-arrival time of the next accepting worker.
+    const double u = 1.0 - rng_.NextDouble();
+    clock += -std::log(u) / per_assignment_rate;
+
+    AssignmentOutcome assignment;
+    assignment.worker_id =
+        static_cast<uint32_t>(rng_.NextBounded(config_.population));
+    assignment.answers.reserve(ground_truth.size());
+    if (IsSpammer(assignment.worker_id)) {
+      // Spammers click through without reading the task.
+      for (size_t k = 0; k < ground_truth.size(); ++k) {
+        assignment.answers.push_back(rng_.NextBernoulli(0.5));
+      }
+    } else {
+      const double skill = WorkerSkill(assignment.worker_id);
+      const double failure = std::clamp(base_failure * skill, 0.0, 0.98);
+      for (bool truth : ground_truth) {
+        const bool correct = !rng_.NextBernoulli(failure);
+        assignment.answers.push_back(correct ? truth : !truth);
+      }
+    }
+    outcome.assignments.push_back(std::move(assignment));
+
+    // Workers are paid on submission regardless of timeliness.
+    total_spent_ += bin_cost;
+  }
+  outcome.completion_minutes = clock;
+  outcome.overtime = clock > model.timeout_minutes;
+  ++bins_posted_;
+  return outcome;
+}
+
+}  // namespace slade

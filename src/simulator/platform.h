@@ -1,0 +1,103 @@
+// Copyright (c) the SLADE reproduction authors.
+//
+// A discrete-event crowdsourcing platform simulator standing in for Amazon
+// Mechanical Turk (see DESIGN.md §4). Requesters post task bins (HITs);
+// simulated workers arrive with pay-sensitive Poisson timing, answer each
+// contained atomic task with a probability drawn from the dataset's worker
+// model (binmodel/profile_model.h) modulated by per-worker skill, and the
+// platform reports answers and completion times. Everything downstream --
+// probe calibration, plan execution, the Figure 3 motivation curves -- is
+// measured against this simulator.
+
+#ifndef SLADE_SIMULATOR_PLATFORM_H_
+#define SLADE_SIMULATOR_PLATFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "binmodel/profile_model.h"
+#include "common/random.h"
+#include "common/result.h"
+
+namespace slade {
+
+/// \brief Simulator configuration.
+struct PlatformConfig {
+  /// The worker-behaviour model (JellyModel(), SmicModel(), ...).
+  DatasetModel model;
+  /// RNG seed; two platforms with equal config produce identical histories.
+  uint64_t seed = 42;
+  /// Per-worker skill spread: each worker's failure probability is scaled
+  /// by exp(N(0, skill_sigma)). 0 disables worker heterogeneity.
+  double skill_sigma = 0.25;
+  /// Size of the simulated worker population (workers are sampled with
+  /// replacement per assignment, as on a large marketplace).
+  uint32_t population = 10'000;
+  /// Fraction of the population that are spammers: they answer uniformly
+  /// at random, ignoring the task. Membership is deterministic per worker
+  /// id. Used by calibration-robustness tests and the adaptive loop
+  /// benchmarks; 0 disables.
+  double spammer_fraction = 0.0;
+};
+
+/// \brief Outcome of collecting one assignment (one worker's pass over a
+/// posted bin).
+struct AssignmentOutcome {
+  /// The worker's boolean answer per contained atomic task.
+  std::vector<bool> answers;
+  uint32_t worker_id = 0;
+};
+
+/// \brief Outcome of posting one bin and collecting `assignments` of it.
+struct BinOutcome {
+  std::vector<AssignmentOutcome> assignments;
+  /// Minutes until the last required assignment arrived.
+  double completion_minutes = 0.0;
+  /// True iff completion_minutes exceeded the model timeout (the bin is
+  /// "overtime": the dotted-line regime of Figure 3).
+  bool overtime = false;
+};
+
+/// \brief The simulated marketplace.
+class Platform {
+ public:
+  explicit Platform(const PlatformConfig& config);
+
+  /// Posts one bin of `cardinality` at incentive `bin_cost` whose atomic
+  /// tasks have the given ground-truth labels, and collects `assignments`
+  /// worker passes. `ground_truth.size()` must be between 1 and
+  /// `cardinality`.
+  Result<BinOutcome> PostBin(uint32_t cardinality, double bin_cost,
+                             const std::vector<bool>& ground_truth,
+                             int assignments);
+
+  /// Expected per-task answer accuracy the simulator would exhibit for
+  /// this (cardinality, cost) -- the analytic model value, exposed so
+  /// tests can compare Monte-Carlo estimates against it.
+  double ExpectedConfidence(uint32_t cardinality, double bin_cost) const {
+    return ModelConfidence(config_.model, cardinality, bin_cost);
+  }
+
+  const PlatformConfig& config() const { return config_; }
+
+  /// Total incentives paid to workers so far.
+  double total_spent() const { return total_spent_; }
+  /// Total bins posted so far.
+  uint64_t bins_posted() const { return bins_posted_; }
+
+  /// True iff worker `id` is a spammer (deterministic in (seed, id)).
+  bool IsSpammer(uint32_t id) const;
+
+ private:
+  /// Skill multiplier of worker `id` (deterministic in (seed, id)).
+  double WorkerSkill(uint32_t id) const;
+
+  PlatformConfig config_;
+  Xoshiro256 rng_;
+  double total_spent_ = 0.0;
+  uint64_t bins_posted_ = 0;
+};
+
+}  // namespace slade
+
+#endif  // SLADE_SIMULATOR_PLATFORM_H_

@@ -1,0 +1,42 @@
+#include "simulator/probe_runner.h"
+
+namespace slade {
+
+Result<std::vector<ProbeObservation>> RunProbes(Platform& platform,
+                                                const ProbePlan& plan) {
+  if (plan.cardinalities.empty()) {
+    return Status::InvalidArgument("probe plan needs cardinalities");
+  }
+  if (plan.bins_per_cardinality == 0 || plan.assignments_per_bin < 1) {
+    return Status::InvalidArgument("probe plan needs positive volumes");
+  }
+  Xoshiro256 rng(plan.seed);
+  std::vector<ProbeObservation> observations;
+  observations.reserve(plan.cardinalities.size());
+
+  for (uint32_t l : plan.cardinalities) {
+    const double cost = ModelBinCost(platform.config().model, l);
+    ProbeObservation obs;
+    obs.cardinality = l;
+    obs.bin_cost = cost;
+    for (uint32_t b = 0; b < plan.bins_per_cardinality; ++b) {
+      std::vector<bool> truth(l);
+      for (uint32_t i = 0; i < l; ++i) {
+        truth[i] = rng.NextBernoulli(plan.positive_rate);
+      }
+      SLADE_ASSIGN_OR_RETURN(
+          BinOutcome outcome,
+          platform.PostBin(l, cost, truth, plan.assignments_per_bin));
+      for (const AssignmentOutcome& assignment : outcome.assignments) {
+        for (uint32_t i = 0; i < l; ++i) {
+          ++obs.total;
+          if (assignment.answers[i] == truth[i]) ++obs.correct;
+        }
+      }
+    }
+    observations.push_back(obs);
+  }
+  return observations;
+}
+
+}  // namespace slade

@@ -1,0 +1,41 @@
+// Copyright (c) the SLADE reproduction authors.
+// Issuing ground-truth probe bins on the simulated platform to estimate
+// bin confidences (paper Section 3.1).
+
+#ifndef SLADE_SIMULATOR_PROBE_RUNNER_H_
+#define SLADE_SIMULATOR_PROBE_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "binmodel/calibration.h"
+#include "simulator/platform.h"
+
+namespace slade {
+
+/// \brief Probe campaign configuration.
+struct ProbePlan {
+  /// Cardinalities to probe (e.g. {1, 2, 4, 8, 16}); bins at each are
+  /// posted at the model's minimum in-time cost (ModelBinCost).
+  std::vector<uint32_t> cardinalities;
+  /// Probe bins posted per cardinality.
+  uint32_t bins_per_cardinality = 20;
+  /// Worker assignments collected per probe bin.
+  int assignments_per_bin = 3;
+  /// Fraction of probe tasks whose ground truth is positive.
+  double positive_rate = 0.5;
+  uint64_t seed = 7;
+};
+
+/// \brief Posts the probe bins and aggregates correctness counts into
+/// per-cardinality `ProbeObservation`s suitable for CalibrateProfile.
+///
+/// The probe tasks are synthetic atomic tasks whose ground truth the
+/// requester knows (Section 3.1's "testing task bins"); every worker
+/// answer is compared against it.
+Result<std::vector<ProbeObservation>> RunProbes(Platform& platform,
+                                                const ProbePlan& plan);
+
+}  // namespace slade
+
+#endif  // SLADE_SIMULATOR_PROBE_RUNNER_H_

@@ -1,0 +1,71 @@
+// Copyright (c) the SLADE reproduction authors.
+// Covering integer programming (CIP) reduction of SLADE (paper Section 4.3)
+// and its LP-relaxation + randomized-rounding solver.
+
+#ifndef SLADE_SOLVER_CIP_H_
+#define SLADE_SOLVER_CIP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace slade {
+
+/// \brief One CIP column: a "combination instance" of the Section 4.3
+/// reduction -- a concrete subset of atomic tasks packed into one bin of a
+/// given cardinality. Using the column once contributes `weight` (= the
+/// bin's log confidence `-ln(1-r_l)`) to each covered row's demand at
+/// price `cost` (= c_l).
+struct CipColumn {
+  uint32_t cardinality = 0;
+  /// Instance-local row (task) indices covered; distinct, size <= cardinality.
+  std::vector<uint32_t> rows;
+  double cost = 0.0;
+  double weight = 0.0;
+};
+
+/// \brief A CIP instance `min c^T y  s.t.  U y >= v, y in N` (Equation 3).
+struct CipInstance {
+  /// Row demands `v_i = -ln(1 - t_i)`.
+  std::vector<double> demand;
+  std::vector<CipColumn> columns;
+};
+
+/// \brief Knobs for SolveCip.
+struct CipSolveOptions {
+  uint64_t seed = 1;
+  /// Randomized-rounding repetitions; the cheapest feasible rounding wins.
+  uint32_t rounding_rounds = 5;
+  /// Pivot budget per LP. Chunk-sized covering LPs converge in a few
+  /// hundred pivots; heavily degenerate ones hit the budget and fall back
+  /// to the feasible point reached (see simplex.h), so a tight budget
+  /// bounds worst-case latency without affecting typical results.
+  int lp_max_iterations = 2000;
+};
+
+/// \brief Result of SolveCip: integer multiplicities per column plus
+/// bookkeeping for benchmarks.
+struct CipSolution {
+  std::vector<uint64_t> y;
+  double cost = 0.0;
+  /// LP relaxation objective: the true optimum (and thus a lower bound on
+  /// `cost`) when the simplex converged; the value of the feasible point
+  /// it stopped at otherwise.
+  double lp_objective = 0.0;
+};
+
+/// \brief Solves the CIP: LP relaxation via simplex, then randomized
+/// rounding (floor + Bernoulli on the fractional part) with a greedy
+/// cost-effectiveness repair pass that restores feasibility (the standard
+/// Vazirani-style treatment the paper cites).
+///
+/// Requires every row to be covered by at least one column (otherwise
+/// Infeasible).
+Result<CipSolution> SolveCip(const CipInstance& instance,
+                             const CipSolveOptions& options);
+
+}  // namespace slade
+
+#endif  // SLADE_SOLVER_CIP_H_

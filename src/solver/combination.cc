@@ -1,0 +1,77 @@
+#include "solver/combination.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/math_util.h"
+
+namespace slade {
+
+Result<Combination> Combination::Create(Parts parts,
+                                        const BinProfile& profile) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("a combination needs at least one part");
+  }
+  std::sort(parts.begin(), parts.end());
+  uint64_t lcm = 1;
+  double unit_cost = 0.0;
+  double log_weight = 0.0;
+  uint32_t prev_cardinality = 0;
+  for (const auto& [cardinality, count] : parts) {
+    if (cardinality == prev_cardinality) {
+      return Status::InvalidArgument(
+          "combination parts must have distinct cardinalities");
+    }
+    prev_cardinality = cardinality;
+    if (cardinality == 0 || cardinality > profile.max_cardinality()) {
+      return Status::OutOfRange("combination cardinality " +
+                                std::to_string(cardinality) +
+                                " outside profile");
+    }
+    if (count == 0) {
+      return Status::InvalidArgument("combination counts must be >= 1");
+    }
+    const TaskBin& bin = profile.bin(cardinality);
+    lcm = SaturatingLcm(lcm, cardinality);
+    unit_cost += static_cast<double>(count) * bin.cost /
+                 static_cast<double>(cardinality);
+    log_weight += static_cast<double>(count) * bin.log_weight();
+  }
+  return Combination(std::move(parts), lcm, unit_cost, log_weight);
+}
+
+double Combination::ExpandInto(const std::vector<TaskId>& ids, size_t offset,
+                               size_t count, const BinProfile& profile,
+                               DecompositionPlan* plan) const {
+  double cost = 0.0;
+  for (const auto& [cardinality, copies] : parts_) {
+    const size_t k = cardinality;
+    for (size_t group = 0; group < count; group += k) {
+      const size_t group_size = std::min(k, count - group);
+      std::vector<TaskId> members;
+      members.reserve(group_size);
+      for (size_t j = 0; j < group_size; ++j) {
+        members.push_back(ids[offset + group + j]);
+      }
+      plan->Add(cardinality, copies, std::move(members));
+      cost += static_cast<double>(copies) * profile.bin(cardinality).cost;
+    }
+  }
+  return cost;
+}
+
+std::string Combination::ToString() const {
+  std::string out = "{";
+  char buf[64];
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%u x b%u", i ? ", " : "",
+                  parts_[i].second, parts_[i].first);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "} LCM=%llu UC=%.6f",
+                static_cast<unsigned long long>(lcm_), unit_cost_);
+  out += buf;
+  return out;
+}
+
+}  // namespace slade

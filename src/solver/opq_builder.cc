@@ -1,0 +1,179 @@
+#include "solver/opq_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace slade {
+
+namespace {
+
+// Builder-internal element: a combination's counts plus cached aggregates.
+struct Cand {
+  std::vector<uint32_t> counts;  // counts[l-1] = copies of b_l
+  uint64_t lcm = 1;
+  double unit_cost = 0.0;
+  double log_weight = 0.0;
+};
+
+// Acceptance margin for the threshold check. Stricter than kRelEps so that
+// plans built from accepted combinations still validate under kRelEps.
+constexpr double kBuildEps = 1e-12;
+
+class Enumerator {
+ public:
+  Enumerator(const BinProfile& profile, double theta,
+             const OpqBuildOptions& options, OpqBuildStats* stats)
+      : profile_(profile), theta_(theta), options_(options), stats_(stats) {}
+
+  Status Run() {
+    Cand root;
+    root.counts.assign(profile_.size(), 0);
+    return Enumerate(1, root);
+  }
+
+  std::vector<Cand> TakeQueue() { return std::move(queue_); }
+
+ private:
+  // True iff some already-found combination weakly dominates (lcm, uc).
+  bool Dominated(uint64_t lcm, double uc) const {
+    for (const Cand& e : queue_) {
+      if (e.lcm <= lcm && e.unit_cost <= uc) return true;
+    }
+    return false;
+  }
+
+  // Inserts `cand`, evicting everything it dominates (Algorithm 2 line 10
+  // plus the line 2 sweep, maintained incrementally).
+  void Insert(Cand cand) {
+    queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                                [&](const Cand& e) {
+                                  return e.lcm >= cand.lcm &&
+                                         e.unit_cost >= cand.unit_cost;
+                                }),
+                 queue_.end());
+    queue_.push_back(std::move(cand));
+    if (stats_ != nullptr) ++stats_->insertions;
+  }
+
+  // Algorithm 2's Enumerate(p, q, S, B, t): extends `cand` with bins of
+  // cardinality >= p (multisets enumerated once, in non-decreasing order).
+  Status Enumerate(uint32_t p, Cand& cand) {
+    const uint32_t m = profile_.max_cardinality();
+    for (uint32_t k = p; k <= m; ++k) {
+      if (++nodes_ > options_.node_budget) {
+        return Status::ResourceExhausted(
+            "OPQ enumeration exceeded node budget of " +
+            std::to_string(options_.node_budget));
+      }
+      if (stats_ != nullptr) ++stats_->nodes_visited;
+      const TaskBin& bin = profile_.bin(k);
+      Cand next = cand;
+      next.counts[k - 1] += 1;
+      next.lcm = SaturatingLcm(cand.lcm, k);
+      next.unit_cost =
+          cand.unit_cost + bin.cost / static_cast<double>(k);
+      next.log_weight = cand.log_weight + bin.log_weight();
+
+      // Lemma 1 pruning: a dominated partial combination can never lead to
+      // a Pareto-optimal completion (supersets only grow both LCM and UC).
+      if (options_.enable_partial_pruning &&
+          Dominated(next.lcm, next.unit_cost)) {
+        if (stats_ != nullptr) ++stats_->nodes_pruned_dominated;
+        continue;
+      }
+
+      if (next.log_weight >= theta_ - kBuildEps) {
+        if (!Dominated(next.lcm, next.unit_cost)) {
+          Insert(std::move(next));
+        } else if (stats_ != nullptr) {
+          ++stats_->nodes_pruned_dominated;
+        }
+        // No recursion: any superset is dominated by `next` itself.
+      } else {
+        SLADE_RETURN_NOT_OK(Enumerate(k, next));
+      }
+    }
+    return Status::OK();
+  }
+
+  const BinProfile& profile_;
+  const double theta_;
+  const OpqBuildOptions& options_;
+  OpqBuildStats* stats_;
+  std::vector<Cand> queue_;
+  uint64_t nodes_ = 0;
+};
+
+Result<Combination> ToCombination(const Cand& cand,
+                                  const BinProfile& profile) {
+  Combination::Parts parts;
+  for (uint32_t l = 1; l <= profile.max_cardinality(); ++l) {
+    if (cand.counts[l - 1] > 0) {
+      parts.emplace_back(l, cand.counts[l - 1]);
+    }
+  }
+  return Combination::Create(std::move(parts), profile);
+}
+
+}  // namespace
+
+OptimalPriorityQueue::OptimalPriorityQueue(std::vector<Combination> elements,
+                                           double theta)
+    : elements_(std::move(elements)), theta_(theta) {}
+
+std::string OptimalPriorityQueue::ToString() const {
+  std::string out = "OPQ (theta=" + std::to_string(theta_) + ")\n";
+  for (const Combination& c : elements_) {
+    out += "  " + c.ToString() + "\n";
+  }
+  return out;
+}
+
+Result<OptimalPriorityQueue> BuildOpq(const BinProfile& profile, double t,
+                                      const OpqBuildOptions& options,
+                                      OpqBuildStats* stats) {
+  if (!(t > 0.0 && t < 1.0)) {
+    return Status::InvalidArgument(
+        "OPQ threshold must be in (0, 1), got " + std::to_string(t));
+  }
+  const double theta = LogReduction(t);
+  Enumerator enumerator(profile, theta, options, stats);
+  SLADE_RETURN_NOT_OK(enumerator.Run());
+  std::vector<Cand> cands = enumerator.TakeQueue();
+
+  // Defensive: the pure-b1 combination guarantees an LCM=1 element, which
+  // in turn guarantees Algorithm 3 can always make progress. The DFS always
+  // finds one (or something dominating it); re-add if numerical edge cases
+  // ever dropped it.
+  const bool has_unit = std::any_of(cands.begin(), cands.end(),
+                                    [](const Cand& c) { return c.lcm == 1; });
+  std::vector<Combination> elements;
+  elements.reserve(cands.size() + 1);
+  for (const Cand& cand : cands) {
+    SLADE_ASSIGN_OR_RETURN(Combination c, ToCombination(cand, profile));
+    elements.push_back(std::move(c));
+  }
+  if (!has_unit) {
+    const TaskBin& b1 = profile.bin(1);
+    const uint32_t copies = static_cast<uint32_t>(
+        std::ceil(theta / b1.log_weight() - kBuildEps));
+    SLADE_ASSIGN_OR_RETURN(
+        Combination fallback,
+        Combination::Create({{1, std::max(copies, 1u)}}, profile));
+    elements.push_back(std::move(fallback));
+  }
+
+  // Condition (1) of Definition 4: descending LCM. Dominance removal makes
+  // unit cost ascend along the same order.
+  std::sort(elements.begin(), elements.end(),
+            [](const Combination& a, const Combination& b) {
+              if (a.lcm() != b.lcm()) return a.lcm() > b.lcm();
+              return a.unit_cost() < b.unit_cost();
+            });
+  return OptimalPriorityQueue(std::move(elements), theta);
+}
+
+}  // namespace slade

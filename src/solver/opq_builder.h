@@ -1,0 +1,75 @@
+// Copyright (c) the SLADE reproduction authors.
+// Building the Optimal Priority Queue (paper Definition 4, Algorithm 2).
+
+#ifndef SLADE_SOLVER_OPQ_BUILDER_H_
+#define SLADE_SOLVER_OPQ_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "binmodel/task_bin.h"
+#include "common/result.h"
+#include "solver/combination.h"
+
+namespace slade {
+
+/// \brief The optimal priority queue (Definition 4): the Pareto frontier of
+/// threshold-satisfying bin combinations over (LCM, unit cost).
+///
+/// Invariants (asserted by tests):
+///  * every element's log_weight() >= theta (condition 3);
+///  * elements are sorted by LCM strictly descending (condition 1);
+///  * no element is dominated: along the queue, unit cost is strictly
+///    increasing as LCM decreases (condition 2);
+///  * the last element has LCM == 1 (a pure-b1 combination always
+///    survives, which is what guarantees Algorithm 3 terminates).
+class OptimalPriorityQueue {
+ public:
+  OptimalPriorityQueue(std::vector<Combination> elements, double theta);
+
+  const std::vector<Combination>& elements() const { return elements_; }
+  size_t size() const { return elements_.size(); }
+  const Combination& element(size_t i) const { return elements_[i]; }
+
+  /// The front OPQ_1: largest LCM, lowest unit cost (Lemma 2).
+  const Combination& front() const { return elements_.front(); }
+
+  /// The log-domain threshold the queue was built for.
+  double theta() const { return theta_; }
+
+  /// Multi-line rendering mirroring the paper's Table 3.
+  std::string ToString() const;
+
+ private:
+  std::vector<Combination> elements_;
+  double theta_;
+};
+
+/// \brief Statistics from the Algorithm 2 enumeration (used by the
+/// ablation benchmark to quantify the Lemma 1 pruning rule).
+struct OpqBuildStats {
+  uint64_t nodes_visited = 0;
+  uint64_t nodes_pruned_dominated = 0;
+  uint64_t insertions = 0;
+};
+
+/// \brief Options for BuildOpq.
+struct OpqBuildOptions {
+  /// Abort with ResourceExhausted beyond this many DFS nodes.
+  uint64_t node_budget = 50'000'000;
+  /// Disable the Lemma 1 dominance pruning of *partial* combinations
+  /// (ablation only; the result is identical, just slower).
+  bool enable_partial_pruning = true;
+};
+
+/// \brief Runs the Algorithm 2 depth-first enumeration with Lemma 1
+/// dominance pruning and returns the optimal priority queue for reliability
+/// threshold `t` (0 < t < 1).
+Result<OptimalPriorityQueue> BuildOpq(const BinProfile& profile, double t,
+                                      const OpqBuildOptions& options = {},
+                                      OpqBuildStats* stats = nullptr);
+
+}  // namespace slade
+
+#endif  // SLADE_SOLVER_OPQ_BUILDER_H_

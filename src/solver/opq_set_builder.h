@@ -1,0 +1,52 @@
+// Copyright (c) the SLADE reproduction authors.
+// Building the set of optimal priority queues over threshold intervals
+// (paper Algorithm 4, Example 10).
+
+#ifndef SLADE_SOLVER_OPQ_SET_BUILDER_H_
+#define SLADE_SOLVER_OPQ_SET_BUILDER_H_
+
+#include <vector>
+
+#include "binmodel/task_bin.h"
+#include "common/result.h"
+#include "solver/opq_builder.h"
+
+namespace slade {
+
+/// \brief The partition of the log-threshold range [theta_min, theta_max]
+/// into power-of-two intervals, with one OPQ built per interval upper
+/// bound (Algorithm 4).
+///
+/// Interval upper bounds are `tau_i = min(2^{alpha+i+1}, theta_max)` with
+/// `alpha = floor(log2 theta_min)`; the queue for interval i is built for
+/// the surrogate homogeneous threshold `t = 1 - e^{-tau_i}`, which upper-
+/// bounds every task threshold falling into the interval.
+class OpqSet {
+ public:
+  OpqSet(std::vector<double> uppers, std::vector<OptimalPriorityQueue> queues)
+      : uppers_(std::move(uppers)), queues_(std::move(queues)) {}
+
+  size_t size() const { return queues_.size(); }
+  /// Upper bound tau_i of interval `i` (ascending in i).
+  double upper(size_t i) const { return uppers_[i]; }
+  const OptimalPriorityQueue& queue(size_t i) const { return queues_[i]; }
+
+  /// Index of the interval whose queue covers log-threshold `theta`
+  /// (the lowest i with theta <= tau_i; Algorithm 5 lines 5-7).
+  /// `theta` must be <= the largest upper bound.
+  Result<size_t> GroupOf(double theta) const;
+
+ private:
+  std::vector<double> uppers_;
+  std::vector<OptimalPriorityQueue> queues_;
+};
+
+/// \brief Runs Algorithm 4 for log-threshold range [theta_min, theta_max].
+/// Requires 0 < theta_min <= theta_max.
+Result<OpqSet> BuildOpqSet(const BinProfile& profile, double theta_min,
+                           double theta_max,
+                           const OpqBuildOptions& options = {});
+
+}  // namespace slade
+
+#endif  // SLADE_SOLVER_OPQ_SET_BUILDER_H_

@@ -1,0 +1,83 @@
+#include "solver/plan.h"
+
+#include <cstdio>
+
+#include "common/math_util.h"
+
+namespace slade {
+
+void DecompositionPlan::Add(uint32_t cardinality, uint32_t copies,
+                            std::vector<TaskId> tasks) {
+  if (copies == 0) return;
+  BinPlacement p;
+  p.cardinality = cardinality;
+  p.copies = copies;
+  p.tasks = std::move(tasks);
+  placements_.push_back(std::move(p));
+}
+
+double DecompositionPlan::TotalCost(const BinProfile& profile) const {
+  double cost = 0.0;
+  for (const BinPlacement& p : placements_) {
+    cost += static_cast<double>(p.copies) * profile.bin(p.cardinality).cost;
+  }
+  return cost;
+}
+
+std::vector<uint64_t> DecompositionPlan::BinCounts(
+    uint32_t max_cardinality) const {
+  std::vector<uint64_t> counts(max_cardinality + 1, 0);
+  for (const BinPlacement& p : placements_) {
+    if (p.cardinality <= max_cardinality) {
+      counts[p.cardinality] += p.copies;
+    }
+  }
+  return counts;
+}
+
+uint64_t DecompositionPlan::TotalBinInstances() const {
+  uint64_t total = 0;
+  for (const BinPlacement& p : placements_) total += p.copies;
+  return total;
+}
+
+std::vector<double> DecompositionPlan::PerTaskReliability(
+    const BinProfile& profile, size_t n) const {
+  std::vector<double> theta(n, 0.0);
+  for (const BinPlacement& p : placements_) {
+    const double w = profile.bin(p.cardinality).log_weight() *
+                     static_cast<double>(p.copies);
+    for (TaskId id : p.tasks) {
+      if (id < n) theta[id] += w;
+    }
+  }
+  std::vector<double> rel(n);
+  for (size_t i = 0; i < n; ++i) rel[i] = InverseLogReduction(theta[i]);
+  return rel;
+}
+
+void DecompositionPlan::Append(DecompositionPlan other) {
+  placements_.reserve(placements_.size() + other.placements_.size());
+  for (BinPlacement& p : other.placements_) {
+    placements_.push_back(std::move(p));
+  }
+}
+
+std::string DecompositionPlan::Summary(const BinProfile& profile) const {
+  std::vector<uint64_t> counts = BinCounts(profile.max_cardinality());
+  std::string out = "plan {";
+  bool first = true;
+  char buf[64];
+  for (uint32_t l = 1; l < counts.size(); ++l) {
+    if (counts[l] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%s%llu x b%u", first ? "" : ", ",
+                  static_cast<unsigned long long>(counts[l]), l);
+    out += buf;
+    first = false;
+  }
+  std::snprintf(buf, sizeof(buf), "} cost=%.4f", TotalCost(profile));
+  out += buf;
+  return out;
+}
+
+}  // namespace slade

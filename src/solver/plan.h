@@ -1,0 +1,76 @@
+// Copyright (c) the SLADE reproduction authors.
+// Decomposition plans (paper Definition 3).
+
+#ifndef SLADE_SOLVER_PLAN_H_
+#define SLADE_SOLVER_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "binmodel/task.h"
+#include "binmodel/task_bin.h"
+
+namespace slade {
+
+/// \brief One group of identical posted bins: `copies` instances of an
+/// l-cardinality bin, each containing exactly the listed atomic tasks.
+///
+/// `tasks.size()` may be less than `cardinality`: Definition 1 allows a bin
+/// to contain *at most* l distinct atomic tasks, and the OPQ padding path
+/// (Algorithm 3 lines 8-10) posts partially filled bins for leftover tasks.
+struct BinPlacement {
+  uint32_t cardinality = 0;
+  uint32_t copies = 1;
+  std::vector<TaskId> tasks;
+};
+
+/// \brief A decomposition plan `DP_T`: which bins are posted and which
+/// atomic tasks each contains.
+///
+/// The paper's plan notation {tau_i, b_i} only counts bins per cardinality;
+/// we additionally record the task-to-bin mapping so that plans can be
+/// validated (plan_validator.h) and executed on the platform simulator
+/// (simulator/executor.h).
+class DecompositionPlan {
+ public:
+  DecompositionPlan() = default;
+
+  /// Appends a placement. `tasks` must be distinct and fit the cardinality;
+  /// violations are caught by the validator rather than here (solvers are
+  /// trusted, external input is not).
+  void Add(uint32_t cardinality, uint32_t copies, std::vector<TaskId> tasks);
+
+  const std::vector<BinPlacement>& placements() const { return placements_; }
+
+  /// Total incentive cost `sum tau_l * c_l` under `profile`.
+  double TotalCost(const BinProfile& profile) const;
+
+  /// Bin-usage counts tau_l indexed by cardinality (index 0 unused).
+  std::vector<uint64_t> BinCounts(uint32_t max_cardinality) const;
+
+  /// Total number of posted bin instances (sum of copies).
+  uint64_t TotalBinInstances() const;
+
+  /// Per-task achieved reliability (Equation 1) under `profile`.
+  /// `n` is the number of atomic tasks; tasks never placed get 0.
+  std::vector<double> PerTaskReliability(const BinProfile& profile,
+                                         size_t n) const;
+
+  /// Merges `other`'s placements into this plan (used by OPQ-Extended to
+  /// combine per-group plans, Algorithm 5 line 15).
+  void Append(DecompositionPlan other);
+
+  /// Human-readable summary: bin counts and total cost.
+  std::string Summary(const BinProfile& profile) const;
+
+  void Reserve(size_t n) { placements_.reserve(n); }
+  bool empty() const { return placements_.empty(); }
+
+ private:
+  std::vector<BinPlacement> placements_;
+};
+
+}  // namespace slade
+
+#endif  // SLADE_SOLVER_PLAN_H_

@@ -1,0 +1,67 @@
+#include "solver/plan_validator.h"
+
+#include <unordered_set>
+
+#include "common/math_util.h"
+
+namespace slade {
+
+Result<ValidationReport> ValidatePlan(const DecompositionPlan& plan,
+                                      const CrowdsourcingTask& task,
+                                      const BinProfile& profile) {
+  const size_t n = task.size();
+  std::vector<double> accumulated(n, 0.0);
+
+  std::unordered_set<TaskId> dedup;
+  for (size_t pi = 0; pi < plan.placements().size(); ++pi) {
+    const BinPlacement& p = plan.placements()[pi];
+    if (p.cardinality == 0 || p.cardinality > profile.max_cardinality()) {
+      return Status::InvalidArgument(
+          "placement " + std::to_string(pi) + " uses cardinality " +
+          std::to_string(p.cardinality) + " outside profile (m=" +
+          std::to_string(profile.max_cardinality()) + ")");
+    }
+    if (p.tasks.size() > p.cardinality) {
+      return Status::InvalidArgument(
+          "placement " + std::to_string(pi) + " holds " +
+          std::to_string(p.tasks.size()) + " tasks in a bin of cardinality " +
+          std::to_string(p.cardinality));
+    }
+    dedup.clear();
+    for (TaskId id : p.tasks) {
+      if (id >= n) {
+        return Status::OutOfRange("placement " + std::to_string(pi) +
+                                  " references task " + std::to_string(id) +
+                                  " but n=" + std::to_string(n));
+      }
+      if (!dedup.insert(id).second) {
+        return Status::InvalidArgument(
+            "placement " + std::to_string(pi) + " lists task " +
+            std::to_string(id) +
+            " twice (a bin holds *different* atomic tasks)");
+      }
+    }
+    const double w = profile.bin(p.cardinality).log_weight() *
+                     static_cast<double>(p.copies);
+    for (TaskId id : p.tasks) accumulated[id] += w;
+  }
+
+  ValidationReport report;
+  report.total_cost = plan.TotalCost(profile);
+  report.feasible = true;
+  bool first = true;
+  for (size_t i = 0; i < n; ++i) {
+    const double margin = accumulated[i] - task.theta(static_cast<TaskId>(i));
+    if (first || margin < report.worst_log_margin) {
+      report.worst_log_margin = margin;
+      report.worst_task = static_cast<TaskId>(i);
+      first = false;
+    }
+    if (!ApproxGe(accumulated[i], task.theta(static_cast<TaskId>(i)))) {
+      report.feasible = false;
+    }
+  }
+  return report;
+}
+
+}  // namespace slade

@@ -1,0 +1,257 @@
+#include "solver/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slade {
+
+namespace {
+
+constexpr double kPivotEps = 1e-9;
+// Minimum magnitude for a pivot element: pivoting on near-zero entries
+// multiplies rounding error into the whole tableau.
+constexpr double kMinPivot = 1e-7;
+
+// Dense simplex tableau over the variable layout
+//   [structural 0..n) | surplus n..n+m) | artificial n+m..n+2m)
+// for constraints A x - s + a = b with the artificials as initial basis.
+//
+// The reduced-cost row is carried in the tableau and updated on every
+// pivot, so entering-variable selection is O(cols). Pricing is Dantzig
+// (most negative reduced cost) for speed, switching to Bland's rule for
+// guaranteed termination if an optimization runs unusually long.
+class Tableau {
+ public:
+  explicit Tableau(const LpProblem& p)
+      : m_(p.b.size()), n_(p.c.size()), cols_(n_ + 2 * m_) {
+    rows_.assign(m_, std::vector<double>(cols_ + 1, 0.0));
+    basis_.resize(m_);
+    for (size_t i = 0; i < m_; ++i) {
+      for (size_t j = 0; j < n_; ++j) rows_[i][j] = p.a[i][j];
+      rows_[i][n_ + i] = -1.0;        // surplus
+      rows_[i][n_ + m_ + i] = 1.0;    // artificial
+      // Deterministic lexicographic-style perturbation of the right-hand
+      // side: breaks the massive degeneracy of covering LPs with many
+      // identical rows (the classic anti-cycling device). The perturbation
+      // only ever *increases* demands, so the solution remains feasible
+      // for the unperturbed covering problem; its cost effect is O(1e-7).
+      rows_[i][cols_] =
+          p.b[i] * (1.0 + 1e-9 * static_cast<double>(i + 1)) +
+          1e-9 * static_cast<double>(i + 1);
+      basis_[i] = n_ + m_ + i;
+    }
+  }
+
+  size_t num_structural() const { return n_; }
+
+  bool IsArtificial(size_t col) const { return col >= n_ + m_; }
+
+  // Sets the objective to `obj` (size cols_) and recomputes the reduced-
+  // cost row r_j = obj_j - obj_B^T T_j for the current basis.
+  void SetObjective(const std::vector<double>& obj) {
+    obj_ = obj;
+    RefreshReducedCosts();
+  }
+
+  // Recomputes the reduced-cost row from scratch. Called at objective
+  // changes and periodically during long optimizations: the incremental
+  // per-pivot updates accumulate rounding error, and a stale negative
+  // entry would make the loop chase phantom improvements forever.
+  void RefreshReducedCosts() {
+    reduced_.assign(cols_ + 1, 0.0);
+    for (size_t j = 0; j <= cols_; ++j) {
+      double r = (j < cols_) ? obj_[j] : 0.0;
+      for (size_t i = 0; i < m_; ++i) {
+        const double cb = obj_[basis_[i]];
+        if (cb != 0.0) r -= cb * rows_[i][j];
+      }
+      reduced_[j] = r;
+    }
+  }
+
+  // Minimizes the current objective. Returns iterations used,
+  // or -1 on iteration limit, -2 on unbounded.
+  int Optimize(int max_iterations, bool forbid_artificial_entering) {
+    int iterations = 0;
+    // Entering tolerance: relative to the objective scale, so tiny
+    // rounding residue never counts as an improvement direction.
+    double scale = 1.0;
+    for (double c : obj_) scale = std::max(scale, std::fabs(c));
+    const double enter_eps = 1e-9 * scale;
+    while (iterations < max_iterations) {
+      if (iterations > 0 && iterations % 256 == 0) RefreshReducedCosts();
+      // After a long run, fall back to Bland's rule (anti-cycling).
+      const bool bland = iterations > max_iterations / 2;
+      size_t enter = cols_;
+      double most_negative = -enter_eps;
+      for (size_t j = 0; j < cols_; ++j) {
+        if (forbid_artificial_entering && IsArtificial(j)) continue;
+        const double r = reduced_[j];
+        if (r < most_negative) {
+          enter = j;
+          if (bland) break;  // first (smallest-index) negative column
+          most_negative = r;
+        }
+      }
+      if (enter == cols_) return iterations;  // optimal
+
+      // Ratio test over rows with a numerically safe pivot element.
+      // Among near-tied ratios prefer the largest pivot (stability),
+      // then the smallest basis index (Bland).
+      size_t leave = m_;
+      double best_ratio = 0.0;
+      for (size_t i = 0; i < m_; ++i) {
+        if (rows_[i][enter] > kMinPivot) {
+          const double ratio =
+              std::max(rows_[i][cols_], 0.0) / rows_[i][enter];
+          if (leave == m_ || ratio < best_ratio - kPivotEps) {
+            leave = i;
+            best_ratio = ratio;
+          } else if (ratio < best_ratio + kPivotEps) {
+            if (rows_[i][enter] > 2.0 * rows_[leave][enter] ||
+                (rows_[i][enter] > 0.5 * rows_[leave][enter] &&
+                 basis_[i] < basis_[leave])) {
+              leave = i;
+              best_ratio = ratio;
+            }
+          }
+        }
+      }
+      if (leave == m_) return -2;  // unbounded
+
+      Pivot(leave, enter);
+      ++iterations;
+    }
+    return -1;
+  }
+
+  void Pivot(size_t row, size_t col) {
+    std::vector<double>& pivot_row = rows_[row];
+    const double pivot = pivot_row[col];
+    for (double& v : pivot_row) v /= pivot;
+    for (size_t i = 0; i < m_; ++i) {
+      if (i == row) continue;
+      const double factor = rows_[i][col];
+      if (factor == 0.0) continue;
+      std::vector<double>& r = rows_[i];
+      for (size_t j = 0; j <= cols_; ++j) r[j] -= factor * pivot_row[j];
+    }
+    const double rfactor = reduced_[col];
+    if (rfactor != 0.0) {
+      for (size_t j = 0; j <= cols_; ++j) {
+        reduced_[j] -= rfactor * pivot_row[j];
+      }
+    }
+    basis_[row] = col;
+  }
+
+  double ObjectiveValue() const {
+    double v = 0.0;
+    for (size_t i = 0; i < m_; ++i) {
+      v += obj_[basis_[i]] * rows_[i][cols_];
+    }
+    return v;
+  }
+
+  // Drives artificial variables out of the basis after phase 1 (pivoting
+  // on any usable non-artificial column; a row with none is redundant and
+  // its artificial stays at value zero, which is harmless).
+  void EvictArtificials() {
+    for (size_t i = 0; i < m_; ++i) {
+      if (!IsArtificial(basis_[i])) continue;
+      for (size_t j = 0; j < n_ + m_; ++j) {
+        if (std::fabs(rows_[i][j]) > kPivotEps) {
+          Pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<double> ExtractStructural() const {
+    std::vector<double> x(n_, 0.0);
+    for (size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < n_) x[basis_[i]] = rows_[i][cols_];
+    }
+    return x;
+  }
+
+ private:
+  size_t m_;
+  size_t n_;
+  size_t cols_;
+  std::vector<std::vector<double>> rows_;  // each row: cols_ + rhs
+  std::vector<double> reduced_;            // reduced-cost row + rhs slot
+  std::vector<double> obj_;
+  std::vector<size_t> basis_;
+};
+
+}  // namespace
+
+Result<LpSolution> SolveCoveringLp(const LpProblem& problem,
+                                   int max_iterations) {
+  const size_t m = problem.b.size();
+  const size_t n = problem.c.size();
+  if (m == 0 || n == 0) {
+    return Status::InvalidArgument("LP needs at least one row and column");
+  }
+  if (problem.a.size() != m) {
+    return Status::InvalidArgument("LP row count mismatch");
+  }
+  for (const auto& row : problem.a) {
+    if (row.size() != n) {
+      return Status::InvalidArgument("LP column count mismatch");
+    }
+  }
+  for (double bi : problem.b) {
+    if (bi < 0.0) {
+      return Status::InvalidArgument("covering LP requires b >= 0");
+    }
+  }
+
+  Tableau tableau(problem);
+  const size_t cols = n + 2 * m;
+
+  // Phase 1: minimize the sum of artificials.
+  std::vector<double> phase1(cols, 0.0);
+  for (size_t j = n + m; j < cols; ++j) phase1[j] = 1.0;
+  tableau.SetObjective(phase1);
+  int it1 = tableau.Optimize(max_iterations, false);
+  if (it1 == -1) {
+    return Status::ResourceExhausted("simplex phase 1 iteration limit");
+  }
+  if (it1 == -2) {
+    return Status::Internal("phase 1 unbounded (cannot happen)");
+  }
+  if (tableau.ObjectiveValue() > 1e-7) {
+    return Status::Infeasible("covering LP has no feasible point");
+  }
+  tableau.EvictArtificials();
+
+  // Phase 2: the real objective (zero cost on surplus; artificials barred
+  // from re-entering the basis).
+  std::vector<double> phase2(cols, 0.0);
+  for (size_t j = 0; j < n; ++j) phase2[j] = problem.c[j];
+  tableau.SetObjective(phase2);
+  int it2 = tableau.Optimize(max_iterations, true);
+  if (it2 == -2) {
+    return Status::Internal(
+        "covering LP with nonnegative costs reported unbounded");
+  }
+
+  LpSolution solution;
+  solution.x = tableau.ExtractStructural();
+  solution.objective = tableau.ObjectiveValue();
+  if (it2 == -1) {
+    // Ran out of pivots on a degenerate instance. Every phase 2 iterate
+    // is primal feasible, so return the current point as an approximate
+    // solution rather than failing the caller.
+    solution.converged = false;
+    solution.iterations = it1 + max_iterations;
+  } else {
+    solution.iterations = it1 + it2;
+  }
+  return solution;
+}
+
+}  // namespace slade

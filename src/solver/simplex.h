@@ -1,0 +1,56 @@
+// Copyright (c) the SLADE reproduction authors.
+// A dense two-phase primal simplex solver for covering LPs.
+//
+// The Section 4.3 baseline reduces SLADE to covering integer programming
+// (CIP) and solves it "via existing methods [Vazirani]": LP relaxation plus
+// randomized rounding. The environment is offline, so the LP solver is
+// implemented here from scratch. Problem sizes are small (one CIP chunk at
+// a time, tens of rows and a few hundred columns), so a textbook dense
+// tableau with Bland's anti-cycling rule is entirely adequate.
+
+#ifndef SLADE_SOLVER_SIMPLEX_H_
+#define SLADE_SOLVER_SIMPLEX_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace slade {
+
+/// \brief A linear program `min c^T x  s.t.  A x >= b,  x >= 0` with
+/// `b >= 0` (every SLADE covering demand `theta_i` is positive).
+struct LpProblem {
+  /// Row-major constraint matrix, `a[i][j]`.
+  std::vector<std::vector<double>> a;
+  /// Right-hand side, one entry per row; must be >= 0.
+  std::vector<double> b;
+  /// Objective coefficients, one per column.
+  std::vector<double> c;
+};
+
+/// \brief Solution of an LpProblem.
+struct LpSolution {
+  std::vector<double> x;
+  double objective = 0.0;
+  int iterations = 0;
+  /// True iff phase 2 reached proven optimality. When false, `x` is still
+  /// primal feasible (the simplex maintains feasibility on every pivot) but
+  /// possibly suboptimal: the iteration budget ran out on a heavily
+  /// degenerate instance. Callers doing rounding/repair can proceed.
+  bool converged = true;
+};
+
+/// \brief Solves the covering LP with two-phase primal simplex.
+///
+/// Returns:
+///  * InvalidArgument for malformed/negative-rhs input;
+///  * Infeasible if no x >= 0 satisfies A x >= b (cannot happen for CIP
+///    instances whose columns cover every row, but callers may construct
+///    arbitrary LPs);
+///  * ResourceExhausted if `max_iterations` pivots were not enough.
+Result<LpSolution> SolveCoveringLp(const LpProblem& problem,
+                                   int max_iterations = 20000);
+
+}  // namespace slade
+
+#endif  // SLADE_SOLVER_SIMPLEX_H_

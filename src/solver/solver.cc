@@ -1,0 +1,45 @@
+#include "solver/solver.h"
+
+#include "solver/baseline_solver.h"
+#include "solver/greedy_solver.h"
+#include "solver/opq_extended_solver.h"
+#include "solver/opq_solver.h"
+#include "solver/relaxed_dp_solver.h"
+
+namespace slade {
+
+const char* SolverKindName(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kGreedy:
+      return "Greedy";
+    case SolverKind::kOpq:
+      return "OPQ-Based";
+    case SolverKind::kOpqExtended:
+      return "OPQ-Extended";
+    case SolverKind::kBaseline:
+      return "Baseline";
+    case SolverKind::kRelaxedDp:
+      return "Relaxed-DP";
+  }
+  return "?";
+}
+
+std::unique_ptr<Solver> MakeSolver(SolverKind kind,
+                                   const SolverOptions& options) {
+  switch (kind) {
+    case SolverKind::kGreedy:
+      return std::make_unique<GreedySolver>(GreedySolver::Strategy::kFast,
+                                            options);
+    case SolverKind::kOpq:
+      return std::make_unique<OpqSolver>(options);
+    case SolverKind::kOpqExtended:
+      return std::make_unique<OpqExtendedSolver>(options);
+    case SolverKind::kBaseline:
+      return std::make_unique<BaselineSolver>(options);
+    case SolverKind::kRelaxedDp:
+      return std::make_unique<RelaxedDpSolver>(options);
+  }
+  return nullptr;
+}
+
+}  // namespace slade

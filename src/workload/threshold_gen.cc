@@ -1,0 +1,64 @@
+#include "workload/threshold_gen.h"
+
+#include <algorithm>
+
+#include "common/distributions.h"
+#include "common/random.h"
+
+namespace slade {
+
+const char* ThresholdFamilyName(ThresholdFamily family) {
+  switch (family) {
+    case ThresholdFamily::kHomogeneous:
+      return "homogeneous";
+    case ThresholdFamily::kNormal:
+      return "normal";
+    case ThresholdFamily::kUniform:
+      return "uniform";
+    case ThresholdFamily::kHeavyTail:
+      return "heavy-tail";
+  }
+  return "?";
+}
+
+Result<std::vector<double>> GenerateThresholds(const ThresholdSpec& spec,
+                                               size_t n, uint64_t seed) {
+  if (n == 0) return Status::InvalidArgument("need n > 0 thresholds");
+  if (!(spec.clamp_lo > 0.0 && spec.clamp_hi < 1.0 &&
+        spec.clamp_lo <= spec.clamp_hi)) {
+    return Status::InvalidArgument(
+        "threshold clamps must satisfy 0 < lo <= hi < 1");
+  }
+  Xoshiro256 rng(seed);
+  switch (spec.family) {
+    case ThresholdFamily::kHomogeneous: {
+      const double t = std::clamp(spec.mu, spec.clamp_lo, spec.clamp_hi);
+      return std::vector<double>(n, t);
+    }
+    case ThresholdFamily::kNormal: {
+      NormalDistribution dist(spec.mu, spec.sigma);
+      return SampleClamped(dist, n, spec.clamp_lo, spec.clamp_hi, rng);
+    }
+    case ThresholdFamily::kUniform: {
+      UniformDistribution dist(spec.mu - spec.sigma, spec.mu + spec.sigma);
+      return SampleClamped(dist, n, spec.clamp_lo, spec.clamp_hi, rng);
+    }
+    case ThresholdFamily::kHeavyTail: {
+      // A Pareto tail hanging *below* mu: most tasks demand ~mu, a heavy
+      // tail demands progressively less (mirroring "a few tasks are much
+      // less critical"). t = mu - sigma * (Pareto(1, 1.5) - 1).
+      ParetoDistribution dist(1.0, 1.5);
+      std::vector<double> out;
+      out.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        const double excess = dist.Sample(rng) - 1.0;
+        out.push_back(std::clamp(spec.mu - spec.sigma * excess,
+                                 spec.clamp_lo, spec.clamp_hi));
+      }
+      return out;
+    }
+  }
+  return Status::InvalidArgument("unknown threshold family");
+}
+
+}  // namespace slade

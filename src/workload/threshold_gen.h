@@ -1,0 +1,48 @@
+// Copyright (c) the SLADE reproduction authors.
+// Reliability-threshold generation for the Section 7 experiments.
+
+#ifndef SLADE_WORKLOAD_THRESHOLD_GEN_H_
+#define SLADE_WORKLOAD_THRESHOLD_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace slade {
+
+/// \brief Families of threshold distributions used in the paper:
+/// homogeneous (Section 7.1), Normal(mu, sigma) (Section 7.2 default),
+/// plus the uniform and heavy-tailed variants the paper mentions running.
+enum class ThresholdFamily {
+  kHomogeneous,
+  kNormal,
+  kUniform,
+  kHeavyTail,  ///< Pareto-based, shifted into the threshold range
+};
+
+const char* ThresholdFamilyName(ThresholdFamily family);
+
+/// \brief Threshold generation spec.
+///
+/// All samples are clamped into [clamp_lo, clamp_hi]; the defaults keep
+/// thresholds within (0,1) and away from 1 (t -> 1 drives theta -> inf).
+struct ThresholdSpec {
+  ThresholdFamily family = ThresholdFamily::kHomogeneous;
+  /// kHomogeneous: the common threshold. kNormal: the mean mu.
+  /// kUniform: center of the interval. kHeavyTail: location base.
+  double mu = 0.9;
+  /// kNormal: sigma. kUniform: half-width. kHeavyTail: tail scale.
+  double sigma = 0.03;
+  double clamp_lo = 0.5;
+  double clamp_hi = 0.995;
+};
+
+/// \brief Draws `n` thresholds deterministically from `spec` with `seed`.
+Result<std::vector<double>> GenerateThresholds(const ThresholdSpec& spec,
+                                               size_t n, uint64_t seed);
+
+}  // namespace slade
+
+#endif  // SLADE_WORKLOAD_THRESHOLD_GEN_H_

@@ -1,0 +1,29 @@
+#include "workload/workload.h"
+
+namespace slade {
+
+Result<Workload> MakeHomogeneousWorkload(DatasetKind dataset, size_t n,
+                                         double t,
+                                         uint32_t max_cardinality) {
+  SLADE_ASSIGN_OR_RETURN(BinProfile profile,
+                         BuildProfile(MakeModel(dataset), max_cardinality));
+  SLADE_ASSIGN_OR_RETURN(CrowdsourcingTask task,
+                         CrowdsourcingTask::Homogeneous(n, t));
+  return Workload{std::move(task), std::move(profile)};
+}
+
+Result<Workload> MakeHeterogeneousWorkload(DatasetKind dataset, size_t n,
+                                           const ThresholdSpec& spec,
+                                           uint32_t max_cardinality,
+                                           uint64_t seed) {
+  SLADE_ASSIGN_OR_RETURN(BinProfile profile,
+                         BuildProfile(MakeModel(dataset), max_cardinality));
+  SLADE_ASSIGN_OR_RETURN(std::vector<double> thresholds,
+                         GenerateThresholds(spec, n, seed));
+  SLADE_ASSIGN_OR_RETURN(CrowdsourcingTask task,
+                         CrowdsourcingTask::FromThresholds(
+                             std::move(thresholds)));
+  return Workload{std::move(task), std::move(profile)};
+}
+
+}  // namespace slade

@@ -1,0 +1,48 @@
+// Copyright (c) the SLADE reproduction authors.
+// Ready-made experiment workloads: (crowdsourcing task, bin profile) pairs
+// matching the Section 7 evaluation setup.
+
+#ifndef SLADE_WORKLOAD_WORKLOAD_H_
+#define SLADE_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "binmodel/profile_model.h"
+#include "binmodel/task.h"
+#include "binmodel/task_bin.h"
+#include "common/result.h"
+#include "workload/threshold_gen.h"
+
+namespace slade {
+
+/// \brief A complete SLADE instance ready to solve.
+struct Workload {
+  CrowdsourcingTask task;
+  BinProfile profile;
+};
+
+/// \brief Section 7 defaults: n=10,000 atomic tasks, max cardinality
+/// |B| = 20, homogeneous t = 0.9, heterogeneous t_i ~ N(0.9, 0.03).
+struct ExperimentDefaults {
+  static constexpr size_t kNumTasks = 10'000;
+  static constexpr uint32_t kMaxCardinality = 20;
+  static constexpr double kThreshold = 0.9;
+  static constexpr double kMu = 0.9;
+  static constexpr double kSigma = 0.03;
+  static constexpr uint64_t kSeed = 20180131;  // TKDE publication month
+};
+
+/// \brief Homogeneous workload on `dataset` (Figures 6a-6l).
+Result<Workload> MakeHomogeneousWorkload(DatasetKind dataset, size_t n,
+                                         double t, uint32_t max_cardinality);
+
+/// \brief Heterogeneous workload with thresholds from `spec`
+/// (Figures 7-8).
+Result<Workload> MakeHeterogeneousWorkload(DatasetKind dataset, size_t n,
+                                           const ThresholdSpec& spec,
+                                           uint32_t max_cardinality,
+                                           uint64_t seed);
+
+}  // namespace slade
+
+#endif  // SLADE_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,169 @@
+#include "adaptive/adaptive_decomposer.h"
+
+#include <gtest/gtest.h>
+
+#include "binmodel/profile_model.h"
+#include "common/random.h"
+
+namespace slade {
+namespace {
+
+PlatformConfig TestConfig(uint64_t seed) {
+  PlatformConfig config;
+  config.model = JellyModel();
+  config.seed = seed;
+  config.skill_sigma = 0.0;
+  return config;
+}
+
+std::vector<bool> RandomTruth(size_t n, double positive_rate,
+                              uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<bool> truth(n);
+  for (size_t i = 0; i < n; ++i) truth[i] = rng.NextBernoulli(positive_rate);
+  return truth;
+}
+
+// A profile whose confidences are optimistically wrong: the platform's
+// true confidence is lower than claimed, so a static plan under-delivers.
+Result<BinProfile> OverconfidentProfile(const DatasetModel& model,
+                                        uint32_t m, double inflation) {
+  SLADE_ASSIGN_OR_RETURN(BinProfile honest, BuildProfile(model, m));
+  std::vector<TaskBin> bins;
+  for (uint32_t l = 1; l <= m; ++l) {
+    TaskBin b = honest.bin(l);
+    b.confidence = std::min(0.999, b.confidence + inflation *
+                                       (1.0 - b.confidence));
+    bins.push_back(b);
+  }
+  return BinProfile::Create(std::move(bins));
+}
+
+TEST(AdaptiveTest, RejectsBadInput) {
+  Platform platform(TestConfig(1));
+  auto task = CrowdsourcingTask::Homogeneous(10, 0.9);
+  const BinProfile profile = BuildProfile(JellyModel(), 5).ValueOrDie();
+  AdaptiveOptions options;
+  options.max_rounds = 0;
+  EXPECT_TRUE(RunAdaptiveDecomposition(platform, *task, profile,
+                                       std::vector<bool>(10, true), options)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RunAdaptiveDecomposition(platform, *task, profile,
+                                       std::vector<bool>(3, true))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(AdaptiveTest, SingleRoundEqualsStaticPlanning) {
+  Platform platform(TestConfig(2));
+  auto task = CrowdsourcingTask::Homogeneous(500, 0.9);
+  const BinProfile profile = BuildProfile(JellyModel(), 10).ValueOrDie();
+  AdaptiveOptions options;
+  options.max_rounds = 1;
+  options.probes_per_cardinality_per_round = 0;  // no probe overhead
+  auto report = RunAdaptiveDecomposition(platform, *task, profile,
+                                         RandomTruth(500, 0.5, 3), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rounds, 1u);
+  EXPECT_GT(report->total_cost, 0.0);
+
+  // The static OPQ-Extended cost for the same instance is identical: one
+  // round plans the full residual with the initial profile.
+  auto solver = MakeSolver(SolverKind::kOpqExtended);
+  auto plan = solver->Solve(*task, profile);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(report->round_stats[0].cost, plan->TotalCost(profile), 1e-9);
+}
+
+TEST(AdaptiveTest, AccurateProfileConvergesInOneOrTwoRounds) {
+  Platform platform(TestConfig(4));
+  auto task = CrowdsourcingTask::Homogeneous(800, 0.9);
+  const BinProfile profile = BuildProfile(JellyModel(), 10).ValueOrDie();
+  auto report = RunAdaptiveDecomposition(platform, *task, profile,
+                                         RandomTruth(800, 0.5, 5));
+  ASSERT_TRUE(report.ok());
+  // With an honest profile the re-estimated confidences stay close, so
+  // little or no top-up is needed.
+  EXPECT_LE(report->rounds, 3u);
+  EXPECT_EQ(report->unsatisfied, 0u);
+  EXPECT_GE(report->positive_recall, 0.85);
+}
+
+TEST(AdaptiveTest, RecoversFromOverconfidentProfile) {
+  // SMIC at t = 0.95: the true confidences genuinely require 2-3 bins per
+  // task, so a profile inflated toward ~0.95+ confidence under-plans by a
+  // wide margin and a static run misses the reliability target.
+  const uint32_t m = 15;
+  auto lying = OverconfidentProfile(SmicModel(), m, 0.6);
+  ASSERT_TRUE(lying.ok());
+  auto task = CrowdsourcingTask::Homogeneous(1500, 0.95);
+  const auto truth = RandomTruth(1500, 0.5, 7);
+
+  PlatformConfig smic_config;
+  smic_config.model = SmicModel();
+  smic_config.seed = 8;
+  smic_config.skill_sigma = 0.0;
+
+  // Static execution under the inflated profile misses the target: the
+  // plan banks on confidences the workers do not deliver.
+  Platform static_platform(smic_config);
+  AdaptiveOptions one_round;
+  one_round.max_rounds = 1;
+  auto static_report = RunAdaptiveDecomposition(
+      static_platform, *task, *lying, truth, one_round);
+  ASSERT_TRUE(static_report.ok());
+  EXPECT_LT(static_report->positive_recall, 0.93);
+
+  Platform adaptive_platform(smic_config);
+  AdaptiveOptions adaptive;
+  adaptive.max_rounds = 6;
+  auto adaptive_report = RunAdaptiveDecomposition(
+      adaptive_platform, *task, *lying, truth, adaptive);
+  ASSERT_TRUE(adaptive_report.ok());
+
+  // The adaptive loop tops up and pays more, but restores recall.
+  EXPECT_GT(adaptive_report->rounds, 1u);
+  EXPECT_GT(adaptive_report->total_cost, static_report->total_cost);
+  EXPECT_GT(adaptive_report->positive_recall,
+            static_report->positive_recall);
+  EXPECT_GE(adaptive_report->positive_recall, 0.93);
+
+  // And its confidence estimates end close to the platform's truth.
+  ASSERT_FALSE(adaptive_report->round_stats.empty());
+  EXPECT_LT(adaptive_report->round_stats.back().max_confidence_error,
+            0.10);
+}
+
+TEST(AdaptiveTest, RoundStatsAreConsistent) {
+  Platform platform(TestConfig(10));
+  auto task = CrowdsourcingTask::Homogeneous(600, 0.9);
+  const BinProfile profile = BuildProfile(JellyModel(), 8).ValueOrDie();
+  auto report = RunAdaptiveDecomposition(platform, *task, profile,
+                                         RandomTruth(600, 0.4, 11));
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->round_stats.size(), report->rounds);
+  double cost_sum = 0.0;
+  for (const AdaptiveRoundStats& stats : report->round_stats) {
+    EXPECT_GT(stats.bins_posted, 0u);
+    cost_sum += stats.cost;
+  }
+  EXPECT_NEAR(cost_sum, report->total_cost, 1e-9);
+  EXPECT_EQ(report->final_confidences.size(), profile.size());
+}
+
+TEST(AdaptiveTest, HeterogeneousThresholdsSupported) {
+  Platform platform(TestConfig(12));
+  Xoshiro256 rng(13);
+  std::vector<double> thresholds(400);
+  for (auto& t : thresholds) t = rng.NextDouble(0.8, 0.97);
+  auto task = CrowdsourcingTask::FromThresholds(thresholds);
+  const BinProfile profile = BuildProfile(JellyModel(), 10).ValueOrDie();
+  auto report = RunAdaptiveDecomposition(platform, *task, profile,
+                                         RandomTruth(400, 0.5, 14));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->unsatisfied, 0u);
+}
+
+}  // namespace
+}  // namespace slade

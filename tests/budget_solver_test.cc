@@ -1,0 +1,90 @@
+#include "solver/budget_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "binmodel/profile_model.h"
+#include "solver/opq_solver.h"
+#include "solver/plan_validator.h"
+
+namespace slade {
+namespace {
+
+TEST(BudgetSolverTest, RejectsBadArguments) {
+  const BinProfile profile = BinProfile::PaperExample();
+  EXPECT_TRUE(MaxReliabilityUnderBudget(0, profile, 1.0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(MaxReliabilityUnderBudget(10, profile, 0.0)
+                  .status()
+                  .IsInvalidArgument());
+  BudgetOptions bad;
+  bad.t_lo = 0.9;
+  bad.t_hi = 0.8;
+  EXPECT_TRUE(MaxReliabilityUnderBudget(10, profile, 1.0, bad)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(BudgetSolverTest, TinyBudgetIsInfeasible) {
+  const BinProfile profile = BinProfile::PaperExample();
+  EXPECT_TRUE(MaxReliabilityUnderBudget(100, profile, 0.01)
+                  .status()
+                  .IsInfeasible());
+}
+
+TEST(BudgetSolverTest, ResultRespectsBudgetAndIsFeasible) {
+  const BinProfile profile = BuildProfile(JellyModel(), 12).ValueOrDie();
+  const size_t n = 500;
+  for (double budget : {5.0, 8.0, 15.0, 40.0}) {
+    auto result = MaxReliabilityUnderBudget(n, profile, budget);
+    ASSERT_TRUE(result.ok()) << "budget=" << budget;
+    EXPECT_LE(result->cost, budget + 1e-9);
+    auto task = CrowdsourcingTask::Homogeneous(n, result->threshold);
+    auto report = ValidatePlan(result->plan, *task, profile);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->feasible) << "budget=" << budget;
+  }
+}
+
+TEST(BudgetSolverTest, MoreBudgetBuysMoreReliability) {
+  const BinProfile profile = BuildProfile(SmicModel(), 12).ValueOrDie();
+  const size_t n = 400;
+  double prev_threshold = 0.0;
+  for (double budget : {8.0, 12.0, 20.0, 60.0}) {
+    auto result = MaxReliabilityUnderBudget(n, profile, budget);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->threshold, prev_threshold - 1e-9)
+        << "budget=" << budget;
+    prev_threshold = result->threshold;
+  }
+  EXPECT_GT(prev_threshold, 0.9);
+}
+
+TEST(BudgetSolverTest, ThresholdIsNearlyMaximal) {
+  // Raising the found threshold by a small log step must exceed the
+  // budget (otherwise the bisection under-shot badly).
+  const BinProfile profile = BuildProfile(JellyModel(), 12).ValueOrDie();
+  const size_t n = 300;
+  const double budget = 6.0;
+  auto result = MaxReliabilityUnderBudget(n, profile, budget);
+  ASSERT_TRUE(result.ok());
+  if (result->threshold < 0.994) {  // not pinned at the search ceiling
+    const double bumped =
+        InverseLogReduction(LogReduction(result->threshold) * 1.05);
+    auto task = CrowdsourcingTask::Homogeneous(n, std::min(bumped, 0.9949));
+    OpqSolver solver;
+    auto plan = solver.Solve(*task, profile);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_GT(plan->TotalCost(profile), budget);
+  }
+}
+
+TEST(BudgetSolverTest, GenerousBudgetHitsTheCeiling) {
+  const BinProfile profile = BuildProfile(JellyModel(), 12).ValueOrDie();
+  auto result = MaxReliabilityUnderBudget(100, profile, 1e6);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->threshold, 0.99);
+}
+
+}  // namespace
+}  // namespace slade

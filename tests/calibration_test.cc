@@ -1,0 +1,144 @@
+#include "binmodel/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "binmodel/profile_model.h"
+#include "common/random.h"
+
+namespace slade {
+namespace {
+
+ProbeObservation MakeObs(uint32_t l, uint64_t total, uint64_t correct,
+                         double cost) {
+  ProbeObservation obs;
+  obs.cardinality = l;
+  obs.total = total;
+  obs.correct = correct;
+  obs.bin_cost = cost;
+  return obs;
+}
+
+TEST(CountingEstimateTest, LaplaceSmoothing) {
+  EXPECT_DOUBLE_EQ(CountingEstimate(MakeObs(1, 100, 90, 0.1)),
+                   91.0 / 102.0);
+  // All-correct probes stay strictly below 1.
+  EXPECT_LT(CountingEstimate(MakeObs(1, 50, 50, 0.1)), 1.0);
+  // All-wrong probes stay strictly above 0.
+  EXPECT_GT(CountingEstimate(MakeObs(1, 50, 0, 0.1)), 0.0);
+}
+
+TEST(PowerLawFitTest, RecoversSyntheticParameters) {
+  // Generate exact counts from failure = 0.01 * l^0.9 and check the fit
+  // recovers (B, p) closely.
+  std::vector<ProbeObservation> obs;
+  for (uint32_t l : {1u, 2u, 4u, 8u, 16u}) {
+    const double failure = 0.01 * std::pow(l, 0.9);
+    const uint64_t total = 100000;
+    // Invert the Laplace smoothing so CountingEstimate lands exactly on r.
+    const double r = 1.0 - failure;
+    const uint64_t correct =
+        static_cast<uint64_t>(std::llround(r * (total + 2) - 1));
+    obs.push_back(MakeObs(l, total, correct, 0.05 + 0.004 * l));
+  }
+  auto fit = PowerLawConfidenceFit::Fit(obs);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->failure_base(), 0.01, 0.002);
+  EXPECT_NEAR(fit->failure_power(), 0.9, 0.05);
+  EXPECT_NEAR(fit->Predict(10), 1.0 - 0.01 * std::pow(10, 0.9), 0.01);
+}
+
+TEST(PowerLawFitTest, NeedsTwoDistinctCardinalities) {
+  std::vector<ProbeObservation> obs = {MakeObs(3, 100, 90, 0.1),
+                                       MakeObs(3, 100, 85, 0.1)};
+  EXPECT_TRUE(
+      PowerLawConfidenceFit::Fit(obs).status().IsInvalidArgument());
+}
+
+TEST(CalibrateProfileTest, CountingNeedsFullCoverage) {
+  std::vector<ProbeObservation> obs = {MakeObs(1, 100, 95, 0.05),
+                                       MakeObs(3, 100, 85, 0.07)};
+  EXPECT_TRUE(CalibrateProfile(obs, 3, CalibrationMethod::kCounting)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CalibrateProfileTest, CountingBuildsProfile) {
+  std::vector<ProbeObservation> obs = {MakeObs(1, 1000, 950, 0.05),
+                                       MakeObs(2, 1000, 920, 0.06),
+                                       MakeObs(3, 1000, 880, 0.07)};
+  auto profile = CalibrateProfile(obs, 3, CalibrationMethod::kCounting);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->size(), 3u);
+  EXPECT_NEAR(profile->bin(1).confidence, 951.0 / 1002.0, 1e-12);
+  EXPECT_DOUBLE_EQ(profile->bin(2).cost, 0.06);
+}
+
+TEST(CalibrateProfileTest, RegressionInterpolatesMissingCardinalities) {
+  std::vector<ProbeObservation> obs = {MakeObs(1, 5000, 4930, 0.05),
+                                       MakeObs(4, 5000, 4700, 0.08),
+                                       MakeObs(8, 5000, 4400, 0.12)};
+  auto profile = CalibrateProfile(obs, 8, CalibrationMethod::kRegression);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->size(), 8u);
+  // Confidence decreases monotonically (power law is monotone).
+  for (uint32_t l = 2; l <= 8; ++l) {
+    EXPECT_LE(profile->bin(l).confidence,
+              profile->bin(l - 1).confidence + 1e-12);
+  }
+  // Cost at l=2 interpolates between the probes at l=1 and l=4.
+  EXPECT_GT(profile->bin(2).cost, 0.05);
+  EXPECT_LT(profile->bin(2).cost, 0.08);
+}
+
+TEST(CalibrateProfileTest, MergesRepeatedObservations) {
+  std::vector<ProbeObservation> obs = {MakeObs(1, 100, 90, 0.05),
+                                       MakeObs(1, 300, 285, 0.06),
+                                       MakeObs(2, 100, 85, 0.07)};
+  auto profile = CalibrateProfile(obs, 2, CalibrationMethod::kCounting);
+  ASSERT_TRUE(profile.ok());
+  // Merged counts: 375/400 -> (375+1)/(400+2).
+  EXPECT_NEAR(profile->bin(1).confidence, 376.0 / 402.0, 1e-12);
+  // Cheapest probed cost is kept.
+  EXPECT_DOUBLE_EQ(profile->bin(1).cost, 0.05);
+}
+
+TEST(CalibrateProfileTest, CalibrationApproximatesGenerativeModel) {
+  // Sample Bernoulli correctness counts from the Jelly model itself and
+  // check the regression calibration lands near the analytic confidences.
+  const DatasetModel jelly = JellyModel();
+  Xoshiro256 rng(17);
+  std::vector<ProbeObservation> obs;
+  for (uint32_t l : {1u, 2u, 3u, 5u, 8u, 12u, 16u, 20u}) {
+    const double cost = ModelBinCost(jelly, l);
+    const double r = ModelConfidence(jelly, l, cost);
+    ProbeObservation o;
+    o.cardinality = l;
+    o.bin_cost = cost;
+    o.total = 20000;
+    for (uint64_t i = 0; i < o.total; ++i) {
+      if (rng.NextBernoulli(r)) ++o.correct;
+    }
+    obs.push_back(o);
+  }
+  auto profile = CalibrateProfile(obs, 20, CalibrationMethod::kRegression);
+  ASSERT_TRUE(profile.ok());
+  for (uint32_t l = 1; l <= 20; ++l) {
+    const double analytic =
+        ModelConfidence(jelly, l, ModelBinCost(jelly, l));
+    // The generative model adds a pay penalty on top of the power law, so
+    // the pure power-law fit carries some structural bias; 0.04 bounds it.
+    EXPECT_NEAR(profile->bin(l).confidence, analytic, 0.04) << "l=" << l;
+  }
+}
+
+TEST(CalibrateProfileTest, RejectsEmptyAndZeroM) {
+  EXPECT_FALSE(CalibrateProfile({}, 3, CalibrationMethod::kCounting).ok());
+  EXPECT_FALSE(CalibrateProfile({MakeObs(1, 10, 9, 0.1)}, 0,
+                                CalibrationMethod::kCounting)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace slade

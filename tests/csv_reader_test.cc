@@ -1,0 +1,87 @@
+#include "io/csv_reader.h"
+
+#include <gtest/gtest.h>
+
+namespace slade {
+namespace {
+
+TEST(ParseCsvTest, SimpleRowsAndTrailingNewline) {
+  auto rows = ParseCsv("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(ParseCsvTest, MissingFinalNewline) {
+  auto rows = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+}
+
+TEST(ParseCsvTest, QuotedCells) {
+  auto rows = ParseCsv("\"has,comma\",\"has\"\"quote\"\n\"line\nbreak\",x\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0], "has,comma");
+  EXPECT_EQ((*rows)[0][1], "has\"quote");
+  EXPECT_EQ((*rows)[1][0], "line\nbreak");
+}
+
+TEST(ParseCsvTest, CrlfLineEndings) {
+  auto rows = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][1], "2");
+}
+
+TEST(ParseCsvTest, EmptyCellsPreserved) {
+  auto rows = ParseCsv(",x,\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ((*rows)[0].size(), 3u);
+  EXPECT_EQ((*rows)[0][0], "");
+  EXPECT_EQ((*rows)[0][2], "");
+}
+
+TEST(ParseCsvTest, QuotedEmptyCellMakesARow) {
+  auto rows = ParseCsv("\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "");
+}
+
+TEST(ParseCsvTest, MalformedQuotingRejected) {
+  EXPECT_TRUE(ParseCsv("ab\"c\n").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseCsv("\"unterminated").status().IsInvalidArgument());
+}
+
+TEST(ParseCsvTest, EmptyInputIsNoRows) {
+  auto rows = ParseCsv("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(ReadCsvFileTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadCsvFile("/no/such/file.csv").status().IsIOError());
+}
+
+TEST(ParseDoubleTest, StrictParsing) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-2e-3"), -0.002);
+  EXPECT_TRUE(ParseDouble("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseDouble("1.5x").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseDouble("abc").status().IsInvalidArgument());
+}
+
+TEST(ParseUintTest, StrictParsing) {
+  EXPECT_EQ(*ParseUint("0"), 0u);
+  EXPECT_EQ(*ParseUint("123456789012"), 123456789012ull);
+  EXPECT_TRUE(ParseUint("-1").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseUint("1.5").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseUint("").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseUint("99999999999999999999999").status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace slade

@@ -1,0 +1,61 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace slade {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string ReadAll() {
+    std::ifstream in(path_);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  // Unique per test: ctest runs test cases as parallel processes in the
+  // same working directory.
+  std::string path_ =
+      std::string("csv_test_") +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path_, {"n", "cost"}).ok());
+  ASSERT_TRUE(
+      w.WriteRow(std::vector<std::string>{"1000", "61.5"}).ok());
+  ASSERT_TRUE(w.WriteRow(std::vector<double>{2000, 123.0}).ok());
+  ASSERT_TRUE(w.Close().ok());
+  EXPECT_EQ(ReadAll(), "n,cost\n1000,61.5\n2000,123\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path_, {"a"}).ok());
+  ASSERT_TRUE(w.WriteRow({std::string("has,comma"), "has\"quote"}).ok());
+  ASSERT_TRUE(w.Close().ok());
+  EXPECT_EQ(ReadAll(), "a\n\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST_F(CsvTest, WriteWithoutOpenFails) {
+  CsvWriter w;
+  EXPECT_TRUE(w.WriteRow({"x"}).IsIOError());
+  EXPECT_TRUE(w.Close().IsIOError());
+}
+
+TEST_F(CsvTest, OpenInvalidPathFails) {
+  CsvWriter w;
+  EXPECT_TRUE(w.Open("/nonexistent-dir-xyz/file.csv", {"a"}).IsIOError());
+}
+
+}  // namespace
+}  // namespace slade

@@ -1,0 +1,116 @@
+#include "common/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace slade {
+namespace {
+
+constexpr int kDraws = 200000;
+
+TEST(UniformDistributionTest, MomentsMatch) {
+  Xoshiro256 rng(1);
+  UniformDistribution dist(2.0, 6.0);
+  OnlineStats stats;
+  for (int i = 0; i < kDraws; ++i) stats.Add(dist.Sample(rng));
+  EXPECT_NEAR(stats.mean(), 4.0, 0.02);
+  // Var = (b-a)^2/12 = 16/12.
+  EXPECT_NEAR(stats.variance(), 16.0 / 12.0, 0.03);
+  EXPECT_GE(stats.min(), 2.0);
+  EXPECT_LT(stats.max(), 6.0);
+}
+
+TEST(NormalDistributionTest, MomentsMatch) {
+  Xoshiro256 rng(2);
+  NormalDistribution dist(0.9, 0.03);
+  OnlineStats stats;
+  for (int i = 0; i < kDraws; ++i) stats.Add(dist.Sample(rng));
+  EXPECT_NEAR(stats.mean(), 0.9, 0.001);
+  EXPECT_NEAR(stats.stddev(), 0.03, 0.001);
+}
+
+TEST(NormalDistributionTest, TailFractionsPlausible) {
+  Xoshiro256 rng(3);
+  NormalDistribution dist(0.0, 1.0);
+  int beyond_two_sigma = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (std::fabs(dist.Sample(rng)) > 2.0) ++beyond_two_sigma;
+  }
+  // P(|Z| > 2) ~ 4.55%.
+  EXPECT_NEAR(static_cast<double>(beyond_two_sigma) / kDraws, 0.0455, 0.005);
+}
+
+TEST(ParetoDistributionTest, MeanMatchesWhenFinite) {
+  Xoshiro256 rng(4);
+  ParetoDistribution dist(1.0, 3.0);
+  OnlineStats stats;
+  for (int i = 0; i < kDraws; ++i) stats.Add(dist.Sample(rng));
+  EXPECT_NEAR(stats.mean(), dist.Mean(), 0.02);  // 1.5
+  EXPECT_GE(stats.min(), 1.0);
+}
+
+TEST(ParetoDistributionTest, InfiniteMeanForSmallAlpha) {
+  ParetoDistribution dist(1.0, 0.9);
+  EXPECT_TRUE(std::isinf(dist.Mean()));
+}
+
+TEST(ExponentialDistributionTest, MeanMatches) {
+  Xoshiro256 rng(5);
+  ExponentialDistribution dist(4.0);
+  OnlineStats stats;
+  for (int i = 0; i < kDraws; ++i) stats.Add(dist.Sample(rng));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.005);
+  EXPECT_GT(stats.min(), 0.0);
+}
+
+TEST(ClampedDistributionTest, SamplesStayInRange) {
+  Xoshiro256 rng(6);
+  auto inner = std::make_shared<NormalDistribution>(0.9, 0.5);
+  ClampedDistribution dist(inner, 0.5, 0.99);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = dist.Sample(rng);
+    ASSERT_GE(x, 0.5);
+    ASSERT_LE(x, 0.99);
+  }
+}
+
+TEST(SampleClampedTest, RespectsBoundsAndCount) {
+  Xoshiro256 rng(7);
+  NormalDistribution dist(0.9, 0.2);
+  auto xs = SampleClamped(dist, 5000, 0.6, 0.95, rng);
+  ASSERT_EQ(xs.size(), 5000u);
+  for (double x : xs) {
+    ASSERT_GE(x, 0.6);
+    ASSERT_LE(x, 0.95);
+  }
+}
+
+TEST(MakeDistributionTest, ParsesAllFamilies) {
+  EXPECT_TRUE(MakeDistribution("uniform:0,1").ok());
+  EXPECT_TRUE(MakeDistribution("normal:0.9,0.03").ok());
+  EXPECT_TRUE(MakeDistribution("pareto:1,2").ok());
+  EXPECT_TRUE(MakeDistribution("exponential:3").ok());
+}
+
+TEST(MakeDistributionTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(MakeDistribution("normal").ok());
+  EXPECT_FALSE(MakeDistribution("uniform:3,1").ok());
+  EXPECT_FALSE(MakeDistribution("pareto:-1,2").ok());
+  EXPECT_FALSE(MakeDistribution("exponential:0").ok());
+  EXPECT_FALSE(MakeDistribution("cauchy:0,1").ok());
+}
+
+TEST(MakeDistributionTest, ParsedDistributionSamples) {
+  auto dist = MakeDistribution("normal:5,0.1");
+  ASSERT_TRUE(dist.ok());
+  Xoshiro256 rng(8);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add((*dist)->Sample(rng));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.01);
+}
+
+}  // namespace
+}  // namespace slade

@@ -1,0 +1,124 @@
+#include "solver/exact_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "solver/opq_builder.h"
+#include "solver/plan_validator.h"
+
+namespace slade {
+namespace {
+
+TEST(SingleTaskOptimumTest, MatchesOpqFrontOnPaperProfile) {
+  // Lemma 2: the OPQ front element has the minimum unit cost among
+  // threshold-satisfying combinations, which is exactly what the
+  // branch-and-bound computes.
+  const BinProfile profile = BinProfile::PaperExample();
+  for (double t : {0.632, 0.86, 0.9, 0.95, 0.97}) {
+    auto opt = OptimalSingleTaskCombination(profile, LogReduction(t));
+    auto opq = BuildOpq(profile, t);
+    ASSERT_TRUE(opt.ok());
+    ASSERT_TRUE(opq.ok());
+    EXPECT_NEAR(opt->unit_cost, opq->front().unit_cost(), 1e-9)
+        << "t=" << t;
+  }
+}
+
+TEST(SingleTaskOptimumTest, PartsSatisfyTheta) {
+  const BinProfile profile = BinProfile::PaperExample();
+  const double theta = LogReduction(0.95);
+  auto opt = OptimalSingleTaskCombination(profile, theta);
+  ASSERT_TRUE(opt.ok());
+  double w = 0.0;
+  for (const auto& [l, count] : opt->parts) {
+    w += count * profile.bin(l).log_weight();
+  }
+  EXPECT_GE(w, theta - 1e-9);
+}
+
+TEST(SingleTaskOptimumTest, RejectsNonPositiveTheta) {
+  EXPECT_FALSE(
+      OptimalSingleTaskCombination(BinProfile::PaperExample(), 0.0).ok());
+  EXPECT_FALSE(
+      OptimalSingleTaskCombination(BinProfile::PaperExample(), -1.0).ok());
+}
+
+TEST(SingleTaskOptimumTest, BudgetEnforced) {
+  EXPECT_TRUE(OptimalSingleTaskCombination(BinProfile::PaperExample(),
+                                           LogReduction(0.95), 1)
+                  .status()
+                  .IsResourceExhausted());
+}
+
+TEST(ExactSmallSolverTest, SingleTaskMatchesBranchAndBound) {
+  const BinProfile profile = BinProfile::PaperExample();
+  ExactSmallSolver solver;
+  for (double t : {0.7, 0.9, 0.95}) {
+    auto task = CrowdsourcingTask::Homogeneous(1, t);
+    auto plan = solver.Solve(*task, profile);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_TRUE(ValidatePlan(*plan, *task, profile)->feasible);
+
+    // For one task the exact cost equals the single-task optimum
+    // evaluated at FULL bin costs (the lone task cannot share bins).
+    // Compute the best full-cost combination by brute force.
+    const double theta = LogReduction(t);
+    double best = 1e18;
+    for (uint32_t n1 = 0; n1 <= 3; ++n1) {
+      for (uint32_t n2 = 0; n2 <= 3; ++n2) {
+        for (uint32_t n3 = 0; n3 <= 3; ++n3) {
+          const double w = n1 * profile.bin(1).log_weight() +
+                           n2 * profile.bin(2).log_weight() +
+                           n3 * profile.bin(3).log_weight();
+          if (w < theta - 1e-12) continue;
+          best = std::min(best, n1 * 0.10 + n2 * 0.18 + n3 * 0.24);
+        }
+      }
+    }
+    EXPECT_NEAR(plan->TotalCost(profile), best, 1e-9) << "t=" << t;
+  }
+}
+
+TEST(ExactSmallSolverTest, FindsPaperOptimalPlanP2) {
+  // Example 4 calls P2 (cost 0.66) the optimal plan for n=4, t=0.95.
+  const BinProfile profile = BinProfile::PaperExample();
+  auto task = CrowdsourcingTask::Homogeneous(4, 0.95);
+  ExactSmallSolver solver;
+  auto plan = solver.Solve(*task, profile);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan->TotalCost(profile), 0.66, 1e-9);
+  EXPECT_TRUE(ValidatePlan(*plan, *task, profile)->feasible);
+}
+
+TEST(ExactSmallSolverTest, RefusesLargeInstances) {
+  auto task = CrowdsourcingTask::Homogeneous(11, 0.9);
+  ExactSmallSolver solver;
+  EXPECT_TRUE(solver.Solve(*task, BinProfile::PaperExample())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ExactSmallSolverTest, StateBudgetEnforced) {
+  auto task = CrowdsourcingTask::Homogeneous(6, 0.97);
+  ExactSmallSolver solver(/*state_budget=*/3);
+  EXPECT_TRUE(solver.Solve(*task, BinProfile::PaperExample())
+                  .status()
+                  .IsResourceExhausted());
+}
+
+TEST(ExactSmallSolverTest, HeterogeneousInstances) {
+  const BinProfile profile = BinProfile::PaperExample();
+  auto task = CrowdsourcingTask::FromThresholds({0.5, 0.95});
+  ExactSmallSolver solver;
+  auto plan = solver.Solve(*task, profile);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ValidatePlan(*plan, *task, profile)->feasible);
+  // The low-threshold task needs theta=0.69 (one bin of any kind); the
+  // high one needs 2.996. Sharing a 2-bin helps: optimal uses b2/b3 mixes.
+  // At minimum the cost must beat treating both tasks independently at
+  // full price (0.2 + 0.3... loose check: no more than independent cost).
+  EXPECT_LE(plan->TotalCost(profile), 0.30 + 0.44 + 1e-9);
+}
+
+}  // namespace
+}  // namespace slade

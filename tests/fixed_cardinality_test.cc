@@ -1,0 +1,106 @@
+#include "solver/fixed_cardinality_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "binmodel/profile_model.h"
+#include "solver/opq_solver.h"
+#include "solver/plan_validator.h"
+
+namespace slade {
+namespace {
+
+TEST(FixedCardinalityTest, ExplicitCardinalityUsesOnlyThatBin) {
+  const BinProfile profile = BinProfile::PaperExample();
+  auto task = CrowdsourcingTask::Homogeneous(7, 0.95);
+  FixedCardinalitySolver solver(2);
+  auto plan = solver.Solve(*task, profile);
+  ASSERT_TRUE(plan.ok());
+  auto counts = plan->BinCounts(3);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[3], 0u);
+  EXPECT_GT(counts[2], 0u);
+  EXPECT_TRUE(ValidatePlan(*plan, *task, profile)->feasible);
+}
+
+TEST(FixedCardinalityTest, BinCountMatchesClosedForm) {
+  // t=0.95 with b2 (w=1.897): each task needs ceil(2.996/1.897) = 2
+  // memberships; 7 tasks x 2 rounds -> 2 * ceil(7/2) = 8 bins.
+  const BinProfile profile = BinProfile::PaperExample();
+  auto task = CrowdsourcingTask::Homogeneous(7, 0.95);
+  FixedCardinalitySolver solver(2);
+  auto plan = solver.Solve(*task, profile);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->TotalBinInstances(), 8u);
+  EXPECT_NEAR(plan->TotalCost(profile), 8 * 0.18, 1e-12);
+}
+
+TEST(FixedCardinalityTest, RejectsUnknownCardinality) {
+  const BinProfile profile = BinProfile::PaperExample();
+  auto task = CrowdsourcingTask::Homogeneous(3, 0.9);
+  FixedCardinalitySolver solver(9);
+  EXPECT_TRUE(solver.Solve(*task, profile).status().IsOutOfRange());
+}
+
+TEST(FixedCardinalityTest, AutoSelectionPicksCheapestPerTask) {
+  // On the Table 1 profile at t=0.9 (theta == w1): b1 needs 1 copy at
+  // 0.10/task; b2 needs 2 copies at 0.18/task; b3 needs 2 at 0.16/task.
+  const BinProfile profile = BinProfile::PaperExample();
+  EXPECT_EQ(FixedCardinalitySolver::BestCardinality(
+                profile, LogReduction(0.9)),
+            1u);
+  // At t=0.95 all cardinalities need 2 copies: per-task costs 0.20 /
+  // 0.18 / 0.16 -> picks 3.
+  EXPECT_EQ(FixedCardinalitySolver::BestCardinality(
+                profile, LogReduction(0.95)),
+            3u);
+}
+
+TEST(FixedCardinalityTest, HeterogeneousRoundsCoverPrefixes) {
+  const BinProfile profile = BinProfile::PaperExample();
+  auto task = CrowdsourcingTask::FromThresholds({0.5, 0.95, 0.6, 0.99});
+  FixedCardinalitySolver solver(3);
+  auto plan = solver.Solve(*task, profile);
+  ASSERT_TRUE(plan.ok());
+  auto report = ValidatePlan(*plan, *task, profile);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->feasible);
+}
+
+class FixedCardinalityFeasibilityTest
+    : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FixedCardinalityFeasibilityTest, EveryCardinalityIsFeasible) {
+  const uint32_t l = GetParam();
+  const BinProfile profile = BuildProfile(JellyModel(), 20).ValueOrDie();
+  auto task = CrowdsourcingTask::Homogeneous(137, 0.93);
+  FixedCardinalitySolver solver(l);
+  auto plan = solver.Solve(*task, profile);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ValidatePlan(*plan, *task, profile)->feasible) << "l=" << l;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FixedCardinalityFeasibilityTest,
+                         ::testing::Values(1u, 2u, 5u, 10u, 20u));
+
+TEST(FixedCardinalityTest, SladeBeatsThePriorPractice) {
+  // The paper's core economic claim: varying bin sizes beats any single
+  // fixed size. OPQ-Based must not cost more than the best fixed choice.
+  const BinProfile profile = BuildProfile(JellyModel(), 20).ValueOrDie();
+  auto task = CrowdsourcingTask::Homogeneous(5000, 0.9);
+  FixedCardinalitySolver fixed;  // auto-select best single cardinality
+  OpqSolver opq;
+  auto fixed_plan = fixed.Solve(*task, profile);
+  auto opq_plan = opq.Solve(*task, profile);
+  ASSERT_TRUE(fixed_plan.ok());
+  ASSERT_TRUE(opq_plan.ok());
+  EXPECT_LE(opq_plan->TotalCost(profile),
+            fixed_plan->TotalCost(profile) + 1e-9);
+}
+
+TEST(FixedCardinalityTest, NameReflectsMode) {
+  EXPECT_EQ(FixedCardinalitySolver().name(), "Fixed-Cardinality");
+  EXPECT_EQ(FixedCardinalitySolver(4).name(), "Fixed-Cardinality(l=4)");
+}
+
+}  // namespace
+}  // namespace slade

@@ -1,0 +1,59 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace slade {
+namespace {
+
+TEST(HistogramTest, BucketsEvenly) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.Add(i + 0.5);
+  EXPECT_EQ(h.total_count(), 10u);
+  for (size_t b = 0; b < 10; ++b) {
+    EXPECT_EQ(h.bucket_count(b), 1u) << "bucket " << b;
+  }
+}
+
+TEST(HistogramTest, ClampsOutOfRangeValues) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(2.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+}
+
+TEST(HistogramTest, UpperEdgeGoesToLastBucket) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(1.0);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+}
+
+TEST(HistogramTest, BucketEdges) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 0.75);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(3), 1.0);
+}
+
+TEST(HistogramTest, AsciiRenderingHasOneLinePerBucket) {
+  Histogram h(0.0, 1.0, 5);
+  for (int i = 0; i < 100; ++i) h.Add(0.5);
+  const std::string art = h.ToAscii(20);
+  size_t lines = 0;
+  for (char c : art) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 5u);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, ZeroBucketRequestGetsOne) {
+  Histogram h(0.0, 1.0, 0);
+  h.Add(0.5);
+  EXPECT_EQ(h.num_buckets(), 1u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+}
+
+}  // namespace
+}  // namespace slade

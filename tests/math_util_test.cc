@@ -1,0 +1,88 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace slade {
+namespace {
+
+TEST(LogReductionTest, MatchesPaperValues) {
+  // theta(0.95) = -ln(0.05) = 2.9957 (Example 5 initializes residuals to
+  // 2.996); w(0.9) = 2.3026; w(0.8) = 1.6094.
+  EXPECT_NEAR(LogReduction(0.95), 2.99573227, 1e-7);
+  EXPECT_NEAR(LogReduction(0.9), 2.30258509, 1e-7);
+  EXPECT_NEAR(LogReduction(0.85), 1.89711998, 1e-7);
+  EXPECT_NEAR(LogReduction(0.8), 1.60943791, 1e-7);
+}
+
+TEST(LogReductionTest, RoundTripsWithInverse) {
+  for (double p : {1e-9, 0.01, 0.5, 0.9, 0.99, 0.999999}) {
+    EXPECT_NEAR(InverseLogReduction(LogReduction(p)), p, 1e-12);
+  }
+  for (double theta : {1e-9, 0.1, 1.0, 5.0, 20.0}) {
+    // At theta=20 the probability is within 2e-9 of 1, so the round trip
+    // loses ~e^theta * eps of absolute precision; scale tolerance.
+    EXPECT_NEAR(LogReduction(InverseLogReduction(theta)), theta,
+                1e-9 * std::exp(std::min(theta, 25.0)) + 1e-9);
+  }
+}
+
+TEST(LogReductionTest, AccurateNearZeroAndOne) {
+  // Near 0: -ln(1-p) ~ p. A naive -log(1-p) would lose precision.
+  EXPECT_NEAR(LogReduction(1e-12), 1e-12, 1e-24);
+  // Near 1: theta explodes but stays finite below 1.
+  EXPECT_GT(LogReduction(1.0 - 1e-15), 30.0);
+  EXPECT_TRUE(std::isinf(LogReduction(1.0)));
+}
+
+TEST(LogReductionTest, ReliabilityCompositionIsAdditive) {
+  // Two bins of confidence 0.85: Rel = 1 - 0.15^2 = 0.9775 (Example 4).
+  const double combined = InverseLogReduction(2 * LogReduction(0.85));
+  EXPECT_NEAR(combined, 0.9775, 1e-12);
+}
+
+TEST(SaturatingLcmTest, SmallValuesExact) {
+  EXPECT_EQ(SaturatingLcm(1, 1), 1u);
+  EXPECT_EQ(SaturatingLcm(2, 3), 6u);
+  EXPECT_EQ(SaturatingLcm(4, 6), 12u);
+  EXPECT_EQ(SaturatingLcm(1, 7), 7u);
+  EXPECT_EQ(SaturatingLcm(12, 12), 12u);
+}
+
+TEST(SaturatingLcmTest, PaperExampleCombination) {
+  // Comb = {3 x b1, 2 x b2, 1 x b3}: lcm(1,2,3) = 6 (Example 6).
+  uint64_t lcm = 1;
+  for (uint64_t k : {1, 2, 3}) lcm = SaturatingLcm(lcm, k);
+  EXPECT_EQ(lcm, 6u);
+}
+
+TEST(SaturatingLcmTest, CardinalitiesUpTo30StayExact) {
+  // lcm(1..30) = 2329089562800, well below the cap.
+  uint64_t lcm = 1;
+  for (uint64_t k = 1; k <= 30; ++k) lcm = SaturatingLcm(lcm, k);
+  EXPECT_EQ(lcm, UINT64_C(2329089562800));
+}
+
+TEST(SaturatingLcmTest, SaturatesAtCap) {
+  const uint64_t cap = 1000;
+  EXPECT_EQ(SaturatingLcm(999, 998, cap), cap);
+  EXPECT_EQ(SaturatingLcm(0, 5, cap), 0u);
+}
+
+TEST(ApproxCompareTest, ToleranceBehaviour) {
+  EXPECT_TRUE(ApproxEq(1.0, 1.0 + 0.5e-9));
+  EXPECT_FALSE(ApproxEq(1.0, 1.0 + 1e-6));
+  EXPECT_TRUE(ApproxGe(1.0, 1.0 + 0.5e-9));
+  EXPECT_TRUE(ApproxGe(2.0, 1.0));
+  EXPECT_FALSE(ApproxGe(1.0, 1.1));
+}
+
+TEST(CeilDivTest, Values) {
+  EXPECT_EQ(CeilDiv(10, 3), 4u);
+  EXPECT_EQ(CeilDiv(9, 3), 3u);
+  EXPECT_EQ(CeilDiv(1, 5), 1u);
+}
+
+}  // namespace
+}  // namespace slade

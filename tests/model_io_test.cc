@@ -1,0 +1,114 @@
+#include "io/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "binmodel/profile_model.h"
+
+namespace slade {
+namespace {
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_ =
+      std::string("model_io_") +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".csv";
+};
+
+TEST_F(ModelIoTest, ProfileRoundTrip) {
+  const BinProfile original = BuildProfile(JellyModel(), 12).ValueOrDie();
+  ASSERT_TRUE(SaveBinProfileCsv(original, path_).ok());
+  auto loaded = LoadBinProfileCsv(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), original.size());
+  for (uint32_t l = 1; l <= original.max_cardinality(); ++l) {
+    EXPECT_NEAR(loaded->bin(l).confidence, original.bin(l).confidence,
+                1e-9);
+    EXPECT_NEAR(loaded->bin(l).cost, original.bin(l).cost, 1e-9);
+  }
+}
+
+TEST_F(ModelIoTest, ProfileRowsMayArriveUnordered) {
+  {
+    std::ofstream out(path_);
+    out << "cardinality,confidence,cost\n3,0.8,0.24\n1,0.9,0.1\n"
+           "2,0.85,0.18\n";
+  }
+  auto loaded = LoadBinProfileCsv(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->bin(2).cost, 0.18);
+}
+
+TEST_F(ModelIoTest, ProfileHeaderChecked) {
+  {
+    std::ofstream out(path_);
+    out << "l,r,c\n1,0.9,0.1\n";
+  }
+  EXPECT_TRUE(LoadBinProfileCsv(path_).status().IsInvalidArgument());
+}
+
+TEST_F(ModelIoTest, ProfileBadRowRejected) {
+  {
+    std::ofstream out(path_);
+    out << "cardinality,confidence,cost\n1,0.9\n";
+  }
+  EXPECT_TRUE(LoadBinProfileCsv(path_).status().IsInvalidArgument());
+}
+
+TEST_F(ModelIoTest, ThresholdsRoundTrip) {
+  auto task = CrowdsourcingTask::FromThresholds({0.5, 0.9, 0.95, 0.86});
+  ASSERT_TRUE(SaveThresholdsCsv(*task, path_).ok());
+  auto loaded = LoadThresholdsCsv(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 4u);
+  EXPECT_EQ(loaded->thresholds(), task->thresholds());
+}
+
+TEST_F(ModelIoTest, ThresholdsOutOfRangeRejected) {
+  {
+    std::ofstream out(path_);
+    out << "threshold\n0.9\n1.5\n";
+  }
+  EXPECT_TRUE(LoadThresholdsCsv(path_).status().IsInvalidArgument());
+}
+
+TEST_F(ModelIoTest, PlanRoundTrip) {
+  DecompositionPlan plan;
+  plan.Add(3, 2, {0, 5, 9});
+  plan.Add(1, 1, {7});
+  plan.Add(2, 4, {1, 2});
+  ASSERT_TRUE(SavePlanCsv(plan, path_).ok());
+  auto loaded = LoadPlanCsv(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->placements().size(), 3u);
+  EXPECT_EQ(loaded->placements()[0].cardinality, 3u);
+  EXPECT_EQ(loaded->placements()[0].copies, 2u);
+  EXPECT_EQ(loaded->placements()[0].tasks,
+            (std::vector<TaskId>{0, 5, 9}));
+  EXPECT_EQ(loaded->placements()[2].tasks, (std::vector<TaskId>{1, 2}));
+  EXPECT_EQ(loaded->TotalBinInstances(), plan.TotalBinInstances());
+}
+
+TEST_F(ModelIoTest, PlanWithEmptyTaskListRoundTrips) {
+  DecompositionPlan plan;
+  plan.Add(2, 1, {});
+  ASSERT_TRUE(SavePlanCsv(plan, path_).ok());
+  auto loaded = LoadPlanCsv(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->placements().size(), 1u);
+  EXPECT_TRUE(loaded->placements()[0].tasks.empty());
+}
+
+TEST_F(ModelIoTest, LoadMissingFileFails) {
+  EXPECT_TRUE(LoadBinProfileCsv("/no/such.csv").status().IsIOError());
+  EXPECT_TRUE(LoadThresholdsCsv("/no/such.csv").status().IsIOError());
+  EXPECT_TRUE(LoadPlanCsv("/no/such.csv").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace slade

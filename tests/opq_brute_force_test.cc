@@ -1,0 +1,103 @@
+// Cross-validation of the Algorithm 2 OPQ builder against an independent
+// brute-force Pareto-front computation on randomized profiles.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "solver/opq_builder.h"
+
+namespace slade {
+namespace {
+
+struct BruteCombo {
+  uint64_t lcm = 1;
+  double unit_cost = 0.0;
+};
+
+// Exhaustively enumerates every threshold-satisfying bin multiset (depth
+// bounded by theta / w_min) and keeps, per LCM, the cheapest unit cost.
+void Enumerate(const BinProfile& profile, uint32_t start, double weight,
+               double unit_cost, uint64_t lcm, double theta,
+               std::map<uint64_t, double>* best) {
+  for (uint32_t l = start; l <= profile.max_cardinality(); ++l) {
+    const TaskBin& bin = profile.bin(l);
+    const double new_weight = weight + bin.log_weight();
+    const double new_uc = unit_cost + bin.cost_per_task();
+    const uint64_t new_lcm = SaturatingLcm(lcm, l);
+    if (new_weight >= theta - 1e-12) {
+      auto [it, inserted] = best->try_emplace(new_lcm, new_uc);
+      if (!inserted && new_uc < it->second) it->second = new_uc;
+    } else {
+      Enumerate(profile, l, new_weight, new_uc, new_lcm, theta, best);
+    }
+  }
+}
+
+// Reduces the per-LCM map to its Pareto front: ascending LCM must give
+// ascending-or-dropped unit cost; an entry survives iff no smaller-or-
+// equal LCM has smaller-or-equal cost.
+std::map<uint64_t, double> ParetoFront(
+    const std::map<uint64_t, double>& best) {
+  std::map<uint64_t, double> front;
+  double min_cost_so_far = std::numeric_limits<double>::infinity();
+  for (const auto& [lcm, uc] : best) {  // ascending LCM
+    if (uc < min_cost_so_far - 1e-15) {
+      front[lcm] = uc;
+      min_cost_so_far = uc;
+    }
+  }
+  return front;
+}
+
+BinProfile RandomProfile(uint32_t m, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<TaskBin> bins;
+  double confidence = rng.NextDouble(0.82, 0.95);
+  double cost = rng.NextDouble(0.05, 0.2);
+  for (uint32_t l = 1; l <= m; ++l) {
+    bins.push_back({l, confidence, cost});
+    confidence = std::max(0.6, confidence - rng.NextDouble(0.0, 0.06));
+    cost += rng.NextDouble(0.005, 0.08);
+  }
+  return BinProfile::Create(std::move(bins)).ValueOrDie();
+}
+
+class OpqBruteForceTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(OpqBruteForceTest, BuilderMatchesExhaustiveParetoFront) {
+  const auto [seed, t] = GetParam();
+  Xoshiro256 rng(seed * 1000003);
+  const uint32_t m = static_cast<uint32_t>(rng.NextInt(1, 5));
+  const BinProfile profile = RandomProfile(m, seed);
+  const double theta = LogReduction(t);
+
+  std::map<uint64_t, double> best;
+  Enumerate(profile, 1, 0.0, 0.0, 1, theta, &best);
+  const std::map<uint64_t, double> expected = ParetoFront(best);
+
+  auto opq = BuildOpq(profile, t);
+  ASSERT_TRUE(opq.ok()) << opq.status().ToString();
+  ASSERT_EQ(opq->size(), expected.size())
+      << "seed=" << seed << " t=" << t << " m=" << m << "\n"
+      << opq->ToString();
+  // OPQ is sorted by LCM descending; expected map ascends.
+  size_t i = opq->size();
+  for (const auto& [lcm, uc] : expected) {
+    --i;
+    EXPECT_EQ(opq->element(i).lcm(), lcm) << "seed=" << seed;
+    EXPECT_NEAR(opq->element(i).unit_cost(), uc, 1e-12)
+        << "seed=" << seed << " lcm=" << lcm;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OpqBruteForceTest,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 21),
+                       ::testing::Values(0.85, 0.92, 0.97)));
+
+}  // namespace
+}  // namespace slade

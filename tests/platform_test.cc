@@ -1,0 +1,129 @@
+#include "simulator/platform.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace slade {
+namespace {
+
+PlatformConfig NoSkillConfig(uint64_t seed = 1) {
+  PlatformConfig config;
+  config.model = JellyModel();
+  config.seed = seed;
+  config.skill_sigma = 0.0;  // makes Monte Carlo match the analytic model
+  return config;
+}
+
+TEST(PlatformTest, RejectsInvalidPosts) {
+  Platform platform(NoSkillConfig());
+  EXPECT_FALSE(platform.PostBin(0, 0.1, {true}, 1).ok());
+  EXPECT_FALSE(platform.PostBin(2, 0.1, {}, 1).ok());
+  EXPECT_FALSE(platform.PostBin(2, 0.1, {true, false, true}, 1).ok());
+  EXPECT_FALSE(platform.PostBin(2, 0.0, {true}, 1).ok());
+  EXPECT_FALSE(platform.PostBin(2, 0.1, {true}, 0).ok());
+}
+
+TEST(PlatformTest, DeterministicForFixedSeed) {
+  Platform a(NoSkillConfig(7)), b(NoSkillConfig(7));
+  for (int i = 0; i < 20; ++i) {
+    auto oa = a.PostBin(3, 0.1, {true, false, true}, 2);
+    auto ob = b.PostBin(3, 0.1, {true, false, true}, 2);
+    ASSERT_TRUE(oa.ok());
+    ASSERT_TRUE(ob.ok());
+    ASSERT_EQ(oa->assignments.size(), ob->assignments.size());
+    for (size_t k = 0; k < oa->assignments.size(); ++k) {
+      EXPECT_EQ(oa->assignments[k].answers, ob->assignments[k].answers);
+    }
+    EXPECT_DOUBLE_EQ(oa->completion_minutes, ob->completion_minutes);
+  }
+}
+
+TEST(PlatformTest, EmpiricalConfidenceMatchesAnalyticModel) {
+  Platform platform(NoSkillConfig(11));
+  const uint32_t l = 10;
+  const double cost = ModelBinCost(platform.config().model, l);
+  const double expected = platform.ExpectedConfidence(l, cost);
+
+  uint64_t total = 0, correct = 0;
+  std::vector<bool> truth(l);
+  for (uint32_t i = 0; i < l; ++i) truth[i] = (i % 2 == 0);
+  for (int b = 0; b < 2000; ++b) {
+    auto outcome = platform.PostBin(l, cost, truth, 1);
+    ASSERT_TRUE(outcome.ok());
+    for (uint32_t i = 0; i < l; ++i) {
+      ++total;
+      if (outcome->assignments[0].answers[i] == truth[i]) ++correct;
+    }
+  }
+  const double empirical =
+      static_cast<double>(correct) / static_cast<double>(total);
+  EXPECT_NEAR(empirical, expected,
+              4 * WilsonHalfWidth95(expected, total));
+}
+
+TEST(PlatformTest, UnderpaidBinsRunOvertime) {
+  Platform platform(NoSkillConfig(13));
+  const DatasetModel& model = platform.config().model;
+  // Pay far below the per-task minimum wage: expected completion is way
+  // past the timeout, so (nearly) every post is overtime.
+  const uint32_t l = 20;
+  const double cheap = model.min_wage * l * 0.2;
+  int overtime = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto outcome = platform.PostBin(l, cheap, std::vector<bool>(l, true),
+                                    model.assignments_required);
+    ASSERT_TRUE(outcome.ok());
+    if (outcome->overtime) ++overtime;
+  }
+  EXPECT_GE(overtime, 45);
+
+  // Generous pay: overtime should be rare.
+  const double generous = model.min_wage * l * 3.0;
+  overtime = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto outcome = platform.PostBin(l, generous, std::vector<bool>(l, true),
+                                    model.assignments_required);
+    ASSERT_TRUE(outcome.ok());
+    if (outcome->overtime) ++overtime;
+  }
+  EXPECT_LE(overtime, 5);
+}
+
+TEST(PlatformTest, AccountingTracksSpendAndPosts) {
+  Platform platform(NoSkillConfig(17));
+  ASSERT_TRUE(platform.PostBin(2, 0.1, {true, false}, 3).ok());
+  ASSERT_TRUE(platform.PostBin(1, 0.05, {true}, 1).ok());
+  EXPECT_EQ(platform.bins_posted(), 2u);
+  EXPECT_NEAR(platform.total_spent(), 3 * 0.1 + 0.05, 1e-12);
+}
+
+TEST(PlatformTest, WorkerSkillSpreadsAccuracy) {
+  // With skill_sigma > 0 individual workers differ; aggregate accuracy
+  // stays in a sane band around the model value.
+  PlatformConfig config = NoSkillConfig(19);
+  config.skill_sigma = 0.5;
+  Platform platform(config);
+  const double cost = ModelBinCost(config.model, 5);
+  uint64_t total = 0, correct = 0;
+  for (int b = 0; b < 3000; ++b) {
+    auto outcome = platform.PostBin(5, cost, {true, true, false, true,
+                                              false}, 1);
+    ASSERT_TRUE(outcome.ok());
+    for (size_t i = 0; i < 5; ++i) {
+      ++total;
+      if (outcome->assignments[0].answers[i] ==
+          std::vector<bool>({true, true, false, true, false})[i]) {
+        ++correct;
+      }
+    }
+  }
+  const double empirical =
+      static_cast<double>(correct) / static_cast<double>(total);
+  const double analytic = platform.ExpectedConfidence(5, cost);
+  // Lognormal skill inflates mean failure by exp(sigma^2/2) ~ 13%.
+  EXPECT_NEAR(empirical, analytic, 0.03);
+}
+
+}  // namespace
+}  // namespace slade

@@ -1,0 +1,84 @@
+#include "simulator/probe_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "binmodel/calibration.h"
+#include "common/stats.h"
+
+namespace slade {
+namespace {
+
+PlatformConfig TestConfig() {
+  PlatformConfig config;
+  config.model = JellyModel();
+  config.seed = 23;
+  config.skill_sigma = 0.0;
+  return config;
+}
+
+TEST(ProbeRunnerTest, RejectsEmptyPlans) {
+  Platform platform(TestConfig());
+  ProbePlan plan;
+  EXPECT_TRUE(RunProbes(platform, plan).status().IsInvalidArgument());
+  plan.cardinalities = {1};
+  plan.bins_per_cardinality = 0;
+  EXPECT_TRUE(RunProbes(platform, plan).status().IsInvalidArgument());
+}
+
+TEST(ProbeRunnerTest, ObservationVolumesMatchThePlan) {
+  Platform platform(TestConfig());
+  ProbePlan plan;
+  plan.cardinalities = {1, 3, 5};
+  plan.bins_per_cardinality = 4;
+  plan.assignments_per_bin = 2;
+  auto obs = RunProbes(platform, plan);
+  ASSERT_TRUE(obs.ok());
+  ASSERT_EQ(obs->size(), 3u);
+  for (size_t i = 0; i < obs->size(); ++i) {
+    const ProbeObservation& o = (*obs)[i];
+    EXPECT_EQ(o.cardinality, plan.cardinalities[i]);
+    // total answers = bins * assignments * cardinality.
+    EXPECT_EQ(o.total, 4u * 2u * o.cardinality);
+    EXPECT_LE(o.correct, o.total);
+    EXPECT_GT(o.bin_cost, 0.0);
+  }
+}
+
+TEST(ProbeRunnerTest, EstimatesTrackTheModel) {
+  Platform platform(TestConfig());
+  ProbePlan plan;
+  plan.cardinalities = {2, 8, 16};
+  plan.bins_per_cardinality = 400;
+  plan.assignments_per_bin = 3;
+  auto obs = RunProbes(platform, plan);
+  ASSERT_TRUE(obs.ok());
+  for (const ProbeObservation& o : *obs) {
+    const double expected =
+        ModelConfidence(platform.config().model, o.cardinality, o.bin_cost);
+    const double estimate = CountingEstimate(o);
+    EXPECT_NEAR(estimate, expected,
+                4 * WilsonHalfWidth95(expected, o.total) + 0.002)
+        << "l=" << o.cardinality;
+  }
+}
+
+TEST(ProbeRunnerTest, ProbesFeedCalibrationEndToEnd) {
+  Platform platform(TestConfig());
+  ProbePlan plan;
+  plan.cardinalities = {1, 2, 4, 8, 12, 16, 20};
+  plan.bins_per_cardinality = 150;
+  plan.assignments_per_bin = 3;
+  auto obs = RunProbes(platform, plan);
+  ASSERT_TRUE(obs.ok());
+  auto profile = CalibrateProfile(*obs, 20, CalibrationMethod::kRegression);
+  ASSERT_TRUE(profile.ok());
+  for (uint32_t l = 1; l <= 20; ++l) {
+    const double analytic = ModelConfidence(
+        platform.config().model, l,
+        ModelBinCost(platform.config().model, l));
+    EXPECT_NEAR(profile->bin(l).confidence, analytic, 0.05) << "l=" << l;
+  }
+}
+
+}  // namespace
+}  // namespace slade

@@ -1,0 +1,130 @@
+#include "binmodel/profile_model.h"
+
+#include <gtest/gtest.h>
+
+namespace slade {
+namespace {
+
+TEST(ProfileModelTest, JellyConfidenceMatchesFig3Anchors) {
+  // Fitted anchors from Fig. 3a (cost 0.1 curve): r(2) ~ 0.981,
+  // r(30) ~ 0.783.
+  const DatasetModel jelly = JellyModel();
+  EXPECT_NEAR(ModelConfidence(jelly, 2, 0.10), 0.981, 0.01);
+  EXPECT_NEAR(ModelConfidence(jelly, 30, 0.10), 0.783, 0.02);
+}
+
+TEST(ProfileModelTest, ConfidenceDeclinesWithCardinality) {
+  for (DatasetKind kind : {DatasetKind::kJelly, DatasetKind::kSmic}) {
+    const DatasetModel model = MakeModel(kind);
+    double prev = 1.0;
+    for (uint32_t l = 1; l <= 30; ++l) {
+      const double r = ModelConfidence(model, l, 0.2);
+      EXPECT_LE(r, prev + 1e-12) << DatasetKindName(kind) << " l=" << l;
+      prev = r;
+    }
+  }
+}
+
+TEST(ProfileModelTest, LowerPayLowersConfidence) {
+  const DatasetModel jelly = JellyModel();
+  for (uint32_t l : {5u, 10u, 20u, 30u}) {
+    EXPECT_LT(ModelConfidence(jelly, l, 0.05),
+              ModelConfidence(jelly, l, 0.10));
+  }
+}
+
+TEST(ProfileModelTest, InTimeCutoffsMatchFig3a) {
+  // Paper: cost 0.05 in-time up to l=14; cost 0.08 up to 24; 0.1 up to 30.
+  const DatasetModel jelly = JellyModel();
+  EXPECT_TRUE(ModelInTime(jelly, 14, 0.05));
+  EXPECT_FALSE(ModelInTime(jelly, 16, 0.05));
+  EXPECT_TRUE(ModelInTime(jelly, 24, 0.08));
+  EXPECT_FALSE(ModelInTime(jelly, 26, 0.08));
+  EXPECT_TRUE(ModelInTime(jelly, 30, 0.10));
+}
+
+TEST(ProfileModelTest, NothingQualifiesBeyondHardCap) {
+  const DatasetModel jelly = JellyModel();
+  EXPECT_FALSE(ModelInTime(jelly, 31, 10.0));
+  EXPECT_FALSE(ModelInTime(jelly, 0, 10.0));
+}
+
+TEST(ProfileModelTest, CompletionTimeScalesInverselyWithPay) {
+  const DatasetModel jelly = JellyModel();
+  const double slow = ModelCompletionMinutes(jelly, 10, 0.05);
+  const double fast = ModelCompletionMinutes(jelly, 10, 0.10);
+  EXPECT_NEAR(slow / fast, 2.0, 1e-9);
+}
+
+TEST(ProfileModelTest, DifficultyShiftsConfidence) {
+  // Fig. 3c: harder sample images lower the confidence at every size.
+  for (uint32_t l : {2u, 10u, 20u}) {
+    const double easy = ModelConfidence(JellyModel(1), l, 0.1);
+    const double mid = ModelConfidence(JellyModel(2), l, 0.1);
+    const double hard = ModelConfidence(JellyModel(3), l, 0.1);
+    EXPECT_GT(easy, mid);
+    EXPECT_GT(mid, hard);
+  }
+}
+
+TEST(ProfileModelTest, SmicIsHarderThanJelly) {
+  // Fig. 3b: the SMIC confidence sits well below Jelly at every size.
+  for (uint32_t l : {2u, 10u, 30u}) {
+    EXPECT_LT(ModelConfidence(SmicModel(), l, 0.2),
+              ModelConfidence(JellyModel(), l, 0.2));
+  }
+}
+
+TEST(ProfileModelTest, BuildProfileShape) {
+  auto profile = BuildProfile(JellyModel(), 20);
+  ASSERT_TRUE(profile.ok());
+  ASSERT_EQ(profile->size(), 20u);
+  for (uint32_t l = 1; l <= 20; ++l) {
+    const TaskBin& b = profile->bin(l);
+    EXPECT_EQ(b.cardinality, l);
+    EXPECT_GT(b.confidence, 0.0);
+    EXPECT_LT(b.confidence, 1.0);
+    EXPECT_GT(b.cost, 0.0);
+    if (l > 1) {
+      // Total bin cost rises with cardinality, per-task cost falls,
+      // confidence falls: the Section 2 observations.
+      EXPECT_GT(b.cost, profile->bin(l - 1).cost);
+      EXPECT_LT(b.cost_per_task(), profile->bin(l - 1).cost_per_task());
+      EXPECT_LE(b.confidence, profile->bin(l - 1).confidence + 1e-12);
+    }
+  }
+}
+
+TEST(ProfileModelTest, ProfileCostsAreInTime) {
+  // The Section 3.1 rule: profile costs must meet the response-time
+  // requirement.
+  for (DatasetKind kind : {DatasetKind::kJelly, DatasetKind::kSmic}) {
+    const DatasetModel model = MakeModel(kind);
+    auto profile = BuildProfile(model, 20);
+    ASSERT_TRUE(profile.ok());
+    for (uint32_t l = 1; l <= 20; ++l) {
+      EXPECT_TRUE(ModelInTime(model, l, profile->bin(l).cost))
+          << DatasetKindName(kind) << " l=" << l;
+    }
+  }
+}
+
+TEST(ProfileModelTest, BuildProfileRejectsBadCardinality) {
+  EXPECT_TRUE(BuildProfile(JellyModel(), 0).status().IsInvalidArgument());
+  EXPECT_TRUE(BuildProfile(JellyModel(), 31).status().IsOutOfRange());
+}
+
+TEST(ProfileModelTest, LargeBinsAreMoreThetaEfficient) {
+  // The economic premise of the paper: batched tasks cost less per unit of
+  // log-reliability, otherwise decomposition would be pointless.
+  auto profile = BuildProfile(JellyModel(), 20);
+  ASSERT_TRUE(profile.ok());
+  const TaskBin& b1 = profile->bin(1);
+  const TaskBin& b20 = profile->bin(20);
+  const double eff1 = b1.cost_per_task() / b1.log_weight();
+  const double eff20 = b20.cost_per_task() / b20.log_weight();
+  EXPECT_LT(eff20, eff1);
+}
+
+}  // namespace
+}  // namespace slade

@@ -1,0 +1,108 @@
+#include "solver/relaxed_dp_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "solver/plan_validator.h"
+
+namespace slade {
+namespace {
+
+// A profile where every confidence exceeds the thresholds used below, so
+// the relaxed variant's precondition holds.
+BinProfile HighConfidenceProfile() {
+  std::vector<TaskBin> bins = {
+      {1, 0.96, 0.10},
+      {2, 0.95, 0.15},
+      {3, 0.94, 0.18},
+  };
+  return BinProfile::Create(std::move(bins)).ValueOrDie();
+}
+
+TEST(RelaxedDpTest, RejectsWhenPreconditionFails) {
+  // Table 1 has r3 = 0.8 < t = 0.9.
+  auto task = CrowdsourcingTask::Homogeneous(5, 0.9);
+  RelaxedDpSolver solver;
+  EXPECT_TRUE(solver.Solve(*task, BinProfile::PaperExample())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RelaxedDpTest, SingleTaskPicksCheapestBin) {
+  auto task = CrowdsourcingTask::Homogeneous(1, 0.9);
+  RelaxedDpSolver solver;
+  auto plan = solver.Solve(*task, HighConfidenceProfile());
+  ASSERT_TRUE(plan.ok());
+  // Any single bin covers one task; the cheapest is b1 at 0.10.
+  EXPECT_NEAR(plan->TotalCost(HighConfidenceProfile()), 0.10, 1e-12);
+}
+
+TEST(RelaxedDpTest, RodCuttingOptimality) {
+  // Costs 0.10/0.15/0.18 for capacities 1/2/3: covering 6 tasks optimally
+  // uses two 3-bins (0.36) rather than three 2-bins (0.45) or six
+  // singletons (0.60).
+  const BinProfile profile = HighConfidenceProfile();
+  auto task = CrowdsourcingTask::Homogeneous(6, 0.9);
+  RelaxedDpSolver solver;
+  auto plan = solver.Solve(*task, profile);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan->TotalCost(profile), 0.36, 1e-12);
+  auto counts = plan->BinCounts(3);
+  EXPECT_EQ(counts[3], 2u);
+  EXPECT_TRUE(ValidatePlan(*plan, *task, profile)->feasible);
+}
+
+TEST(RelaxedDpTest, RemainderHandledOptimally) {
+  // 7 tasks: 2x b3 + 1x b1 = 0.46, vs 2x b3 + b2 = 0.51 wait b1 cheaper.
+  const BinProfile profile = HighConfidenceProfile();
+  auto task = CrowdsourcingTask::Homogeneous(7, 0.9);
+  RelaxedDpSolver solver;
+  auto plan = solver.Solve(*task, profile);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan->TotalCost(profile), 0.46, 1e-12);
+}
+
+class RelaxedDpMatchesBruteForceTest
+    : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RelaxedDpMatchesBruteForceTest, AgainstExhaustiveCover) {
+  const size_t n = GetParam();
+  const BinProfile profile = HighConfidenceProfile();
+  auto task = CrowdsourcingTask::Homogeneous(n, 0.9);
+  RelaxedDpSolver solver;
+  auto plan = solver.Solve(*task, profile);
+  ASSERT_TRUE(plan.ok());
+
+  // Brute force: minimum cost to cover n units with pieces 1, 2, 3 at the
+  // profile costs (bounded loops since n is small).
+  double best = 1e18;
+  for (size_t a = 0; a <= n; ++a) {
+    for (size_t b = 0; 2 * b <= 2 * n; ++b) {
+      for (size_t c = 0; 3 * c <= 3 * n; ++c) {
+        if (a + 2 * b + 3 * c >= n) {
+          best = std::min(best, 0.10 * a + 0.15 * b + 0.18 * c);
+        }
+        if (3 * c > n + 3) break;
+      }
+      if (2 * b > n + 2) break;
+    }
+  }
+  EXPECT_NEAR(plan->TotalCost(profile), best, 1e-9) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RelaxedDpMatchesBruteForceTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 8u, 11u, 17u));
+
+TEST(RelaxedDpTest, HeterogeneousThresholdsUseMaxForPrecondition) {
+  // t_max = 0.97 > r3 = 0.94: rejected even though most tasks are low.
+  auto task = CrowdsourcingTask::FromThresholds({0.5, 0.5, 0.97});
+  RelaxedDpSolver solver;
+  EXPECT_TRUE(solver.Solve(*task, HighConfidenceProfile())
+                  .status()
+                  .IsInvalidArgument());
+  // With all thresholds below min confidence it succeeds.
+  auto easy = CrowdsourcingTask::FromThresholds({0.5, 0.6, 0.9});
+  EXPECT_TRUE(solver.Solve(*easy, HighConfidenceProfile()).ok());
+}
+
+}  // namespace
+}  // namespace slade

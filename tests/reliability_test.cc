@@ -1,0 +1,61 @@
+#include "binmodel/reliability.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace slade {
+namespace {
+
+TEST(ReliabilityTest, SingleBinEqualsConfidence) {
+  EXPECT_NEAR(Reliability({0.9}), 0.9, 1e-12);
+}
+
+TEST(ReliabilityTest, PaperExample4Plan1) {
+  // P1: each task in two 2-cardinality bins: 1 - 0.15^2 = 0.9775.
+  EXPECT_NEAR(Reliability({0.85, 0.85}), 0.9775, 1e-12);
+}
+
+TEST(ReliabilityTest, PaperExample4Plan2) {
+  // P2: a1 is in two 3-cardinality bins: 1 - 0.2^2 = 0.96 >= 0.95.
+  EXPECT_NEAR(Reliability({0.8, 0.8}), 0.96, 1e-12);
+  // a3 is in one 3-bin and one 2-bin: 1 - 0.2*0.15 = 0.97.
+  EXPECT_NEAR(Reliability({0.8, 0.85}), 0.97, 1e-12);
+}
+
+TEST(ReliabilityTest, EmptyAssignmentIsZero) {
+  EXPECT_DOUBLE_EQ(Reliability(std::vector<double>{}), 0.0);
+}
+
+TEST(ReliabilityTest, ManyBinsApproachOneWithoutOverflow) {
+  std::vector<double> bins(500, 0.9);
+  const double r = Reliability(bins);
+  EXPECT_LE(r, 1.0);
+  EXPECT_GT(r, 0.999999);
+  // The log-domain reduction stays finite and exact.
+  EXPECT_NEAR(ReliabilityReduction(bins), 500 * LogReduction(0.9), 1e-6);
+}
+
+TEST(ReliabilityTest, ProfileLookupOverload) {
+  const BinProfile p = BinProfile::PaperExample();
+  EXPECT_NEAR(Reliability(p, {3, 3}), 0.96, 1e-12);
+  EXPECT_NEAR(Reliability(p, {1}), 0.9, 1e-12);
+  EXPECT_NEAR(Reliability(p, {2, 3}), 0.97, 1e-12);
+}
+
+TEST(ReliabilityTest, ReductionIsAdditive) {
+  const double r1 = ReliabilityReduction({0.9});
+  const double r2 = ReliabilityReduction({0.8});
+  EXPECT_NEAR(ReliabilityReduction({0.9, 0.8}), r1 + r2, 1e-12);
+}
+
+TEST(MeetsThresholdTest, BoundaryCases) {
+  // Exactly at threshold: 1 - 0.2^2 = 0.96 against t = 0.96.
+  EXPECT_TRUE(MeetsThreshold({0.8, 0.8}, 0.96));
+  EXPECT_TRUE(MeetsThreshold({0.8, 0.8}, 0.9599));
+  EXPECT_FALSE(MeetsThreshold({0.8, 0.8}, 0.9601));
+  EXPECT_FALSE(MeetsThreshold({}, 0.5));
+}
+
+}  // namespace
+}  // namespace slade

@@ -1,0 +1,63 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace slade {
+namespace {
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r = std::string("yes");
+  EXPECT_EQ(r.ValueOr("no"), "yes");
+}
+
+TEST(ResultTest, MoveOutOfResult) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, ArrowOperatorAccessesMembers) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Result<int> Doubled(int x) {
+  SLADE_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return 2 * v;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  EXPECT_FALSE(Doubled(-1).ok());
+  EXPECT_TRUE(Doubled(-1).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, AssignOrReturnPassesValue) {
+  auto r = Doubled(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+}  // namespace
+}  // namespace slade

@@ -1,0 +1,125 @@
+// Tests for the spammer worker population and its effect on calibration
+// and the adaptive loop.
+
+#include <gtest/gtest.h>
+
+#include "adaptive/adaptive_decomposer.h"
+#include "binmodel/calibration.h"
+#include "simulator/probe_runner.h"
+
+namespace slade {
+namespace {
+
+PlatformConfig SpammyConfig(double fraction, uint64_t seed = 21) {
+  PlatformConfig config;
+  config.model = JellyModel();
+  config.seed = seed;
+  config.skill_sigma = 0.0;
+  config.spammer_fraction = fraction;
+  return config;
+}
+
+TEST(SpammerTest, MembershipIsDeterministic) {
+  Platform a(SpammyConfig(0.3)), b(SpammyConfig(0.3));
+  for (uint32_t id = 0; id < 1000; ++id) {
+    EXPECT_EQ(a.IsSpammer(id), b.IsSpammer(id)) << id;
+  }
+}
+
+TEST(SpammerTest, FractionRoughlyRespected) {
+  Platform platform(SpammyConfig(0.25));
+  int spammers = 0;
+  const int population = 10'000;
+  for (uint32_t id = 0; id < population; ++id) {
+    if (platform.IsSpammer(id)) ++spammers;
+  }
+  EXPECT_NEAR(static_cast<double>(spammers) / population, 0.25, 0.02);
+}
+
+TEST(SpammerTest, ZeroFractionMeansNoSpammers) {
+  Platform platform(SpammyConfig(0.0));
+  for (uint32_t id = 0; id < 500; ++id) {
+    EXPECT_FALSE(platform.IsSpammer(id));
+  }
+}
+
+TEST(SpammerTest, SpammersDepressEmpiricalConfidence) {
+  // With fraction f of random-clickers, expected accuracy drops to
+  // (1-f)*r + f*0.5.
+  const uint32_t l = 4;
+  Platform clean(SpammyConfig(0.0, 33));
+  Platform spammy(SpammyConfig(0.4, 33));
+  const double cost = ModelBinCost(clean.config().model, l);
+  const double r = clean.ExpectedConfidence(l, cost);
+
+  auto measure = [&](Platform& platform) {
+    uint64_t total = 0, correct = 0;
+    std::vector<bool> truth = {true, false, true, false};
+    for (int b = 0; b < 4000; ++b) {
+      auto outcome = platform.PostBin(l, cost, truth, 1);
+      for (uint32_t i = 0; i < l; ++i) {
+        ++total;
+        if (outcome->assignments[0].answers[i] == truth[i]) ++correct;
+      }
+    }
+    return static_cast<double>(correct) / static_cast<double>(total);
+  };
+
+  EXPECT_NEAR(measure(clean), r, 0.01);
+  EXPECT_NEAR(measure(spammy), 0.6 * r + 0.4 * 0.5, 0.015);
+}
+
+TEST(SpammerTest, CalibrationSeesTheDegradedConfidence) {
+  // Probe-based calibration should recover the *effective* (spammer-
+  // diluted) confidence -- which is exactly what a planner should use.
+  Platform platform(SpammyConfig(0.3, 44));
+  ProbePlan plan;
+  plan.cardinalities = {1, 2, 4, 8, 12};
+  plan.bins_per_cardinality = 300;
+  plan.assignments_per_bin = 2;
+  auto obs = RunProbes(platform, plan);
+  ASSERT_TRUE(obs.ok());
+  for (const ProbeObservation& o : *obs) {
+    const double honest = ModelConfidence(platform.config().model,
+                                          o.cardinality, o.bin_cost);
+    const double diluted = 0.7 * honest + 0.3 * 0.5;
+    EXPECT_NEAR(CountingEstimate(o), diluted, 0.03)
+        << "l=" << o.cardinality;
+  }
+}
+
+TEST(SpammerTest, AdaptiveLoopAbsorbsASpammerInflux) {
+  // Plan with the clean profile, but run against a platform where 25% of
+  // workers are spammers. The adaptive loop detects the depressed
+  // effective confidence and tops up.
+  const uint32_t m = 10;
+  const BinProfile clean_profile =
+      BuildProfile(JellyModel(), m).ValueOrDie();
+  auto task = CrowdsourcingTask::Homogeneous(1200, 0.95);
+  Xoshiro256 rng(55);
+  std::vector<bool> truth(task->size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = rng.NextBernoulli(0.5);
+  }
+
+  Platform static_platform(SpammyConfig(0.25, 66));
+  AdaptiveOptions one_round;
+  one_round.max_rounds = 1;
+  auto static_report = RunAdaptiveDecomposition(
+      static_platform, *task, clean_profile, truth, one_round);
+  ASSERT_TRUE(static_report.ok());
+
+  Platform adaptive_platform(SpammyConfig(0.25, 66));
+  AdaptiveOptions adaptive;
+  adaptive.max_rounds = 5;
+  auto adaptive_report = RunAdaptiveDecomposition(
+      adaptive_platform, *task, clean_profile, truth, adaptive);
+  ASSERT_TRUE(adaptive_report.ok());
+
+  EXPECT_GE(adaptive_report->positive_recall,
+            static_report->positive_recall);
+  EXPECT_GE(adaptive_report->positive_recall, 0.93);
+}
+
+}  // namespace
+}  // namespace slade

@@ -1,0 +1,98 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace slade {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleValue) {
+  OnlineStats s;
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(OnlineStatsTest, MatchesClosedForm) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0);          // population
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.5);   // n-1
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStatsTest, MergeEqualsSequential) {
+  Xoshiro256 rng(1);
+  OnlineStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble(-3, 7);
+    all.Add(x);
+    (i % 2 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmptyIsIdentity) {
+  OnlineStats a, b;
+  a.Add(1.0);
+  a.Add(2.0);
+  const double mean = a.mean();
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), mean);
+}
+
+TEST(MeanStddevTest, VectorHelpers) {
+  std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_NEAR(SampleStddev(xs), 2.138089935, 1e-8);
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(SampleStddev({1.0}), 0.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25), 17.5);
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(PercentileTest, UnsortedInputHandled) {
+  std::vector<double> xs = {40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 25.0);
+}
+
+TEST(WilsonTest, ShrinksWithSampleSize) {
+  const double w100 = WilsonHalfWidth95(0.5, 100);
+  const double w10000 = WilsonHalfWidth95(0.5, 10000);
+  EXPECT_GT(w100, w10000);
+  EXPECT_NEAR(w10000, 0.0098, 0.0005);
+  EXPECT_EQ(WilsonHalfWidth95(0.5, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace slade

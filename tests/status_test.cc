@@ -1,0 +1,64 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace slade {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad t");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad t");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad t");
+
+  EXPECT_TRUE(Status::Infeasible("x").IsInfeasible());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status st = Status::OutOfRange("cardinality 99");
+  Status copy = st;
+  EXPECT_EQ(copy, st);
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsOutOfRange());
+  EXPECT_EQ(moved.message(), "cardinality 99");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_NE(Status::Internal("a"), Status::Internal("b"));
+  EXPECT_NE(Status::Internal("a"), Status::IOError("a"));
+  EXPECT_EQ(Status::Internal("a"), Status::Internal("a"));
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    SLADE_RETURN_NOT_OK(Status::Infeasible("nope"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fails().IsInfeasible());
+
+  auto succeeds = []() -> Status {
+    SLADE_RETURN_NOT_OK(Status::OK());
+    return Status::AlreadyExists("fell through");
+  };
+  EXPECT_TRUE(succeeds().IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace slade

@@ -1,0 +1,62 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace slade {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"a", "long-header", "c"});
+  t.AddRow({"wide-cell", "1", "2"});
+  t.AddRow({"x", "22", "333"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  // Header, separator and both rows present.
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("wide-cell"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Every line is as wide as the widest cells demand.
+  std::istringstream lines(out);
+  std::string line;
+  std::getline(lines, line);
+  const size_t header_width = line.size();
+  std::getline(lines, line);  // separator
+  while (std::getline(lines, line)) {
+    EXPECT_LE(line.size(), header_width + 2);
+  }
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(TablePrinterTest, DoubleRowFormatting) {
+  TablePrinter t({"key", "v1", "v2"});
+  t.AddRow("t=0.9", {612.43219, 583.1}, 2);
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("612.43"), std::string::npos);
+  EXPECT_NE(os.str().find("583.10"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatDoublePrecision) {
+  EXPECT_EQ(TablePrinter::FormatDouble(0.68, 2), "0.68");
+  EXPECT_EQ(TablePrinter::FormatDouble(1.0, 4), "1.0000");
+}
+
+TEST(PrintBannerTest, ContainsTitle) {
+  std::ostringstream os;
+  PrintBanner(os, "Figure 6a");
+  EXPECT_NE(os.str().find("== Figure 6a =="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slade

@@ -1,0 +1,75 @@
+#include "binmodel/task_bin.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace slade {
+namespace {
+
+TEST(TaskBinTest, DerivedQuantities) {
+  TaskBin b{3, 0.8, 0.24};
+  EXPECT_NEAR(b.log_weight(), LogReduction(0.8), 1e-15);
+  EXPECT_DOUBLE_EQ(b.cost_per_task(), 0.08);
+  EXPECT_NE(b.ToString().find("l=3"), std::string::npos);
+}
+
+TEST(BinProfileTest, PaperExampleMatchesTable1) {
+  const BinProfile p = BinProfile::PaperExample();
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.bin(1).confidence, 0.9);
+  EXPECT_DOUBLE_EQ(p.bin(2).confidence, 0.85);
+  EXPECT_DOUBLE_EQ(p.bin(3).confidence, 0.8);
+  EXPECT_DOUBLE_EQ(p.bin(1).cost, 0.10);
+  EXPECT_DOUBLE_EQ(p.bin(2).cost, 0.18);
+  EXPECT_DOUBLE_EQ(p.bin(3).cost, 0.24);
+  EXPECT_DOUBLE_EQ(p.max_confidence(), 0.9);
+  EXPECT_NEAR(p.max_log_weight(), LogReduction(0.9), 1e-15);
+}
+
+TEST(BinProfileTest, RejectsGappedCardinalities) {
+  std::vector<TaskBin> bins = {{1, 0.9, 0.1}, {3, 0.8, 0.2}};
+  EXPECT_TRUE(BinProfile::Create(bins).status().IsInvalidArgument());
+}
+
+TEST(BinProfileTest, RejectsBadConfidence) {
+  EXPECT_FALSE(BinProfile::Create({{1, 0.0, 0.1}}).ok());
+  EXPECT_FALSE(BinProfile::Create({{1, 1.0, 0.1}}).ok());
+  EXPECT_FALSE(BinProfile::Create({{1, -0.1, 0.1}}).ok());
+}
+
+TEST(BinProfileTest, RejectsBadCost) {
+  EXPECT_FALSE(BinProfile::Create({{1, 0.9, 0.0}}).ok());
+  EXPECT_FALSE(BinProfile::Create({{1, 0.9, -1.0}}).ok());
+}
+
+TEST(BinProfileTest, RejectsEmpty) {
+  EXPECT_TRUE(BinProfile::Create({}).status().IsInvalidArgument());
+}
+
+TEST(BinProfileTest, TruncationKeepsPrefix) {
+  const BinProfile p = BinProfile::PaperExample();
+  auto t2 = p.Truncated(2);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2->size(), 2u);
+  EXPECT_DOUBLE_EQ(t2->bin(2).cost, 0.18);
+  EXPECT_DOUBLE_EQ(t2->max_confidence(), 0.9);
+}
+
+TEST(BinProfileTest, TruncationBoundsChecked) {
+  const BinProfile p = BinProfile::PaperExample();
+  EXPECT_TRUE(p.Truncated(0).status().IsOutOfRange());
+  EXPECT_TRUE(p.Truncated(4).status().IsOutOfRange());
+  EXPECT_TRUE(p.Truncated(3).ok());
+}
+
+TEST(BinProfileTest, ToStringListsEveryBin) {
+  const BinProfile p = BinProfile::PaperExample();
+  const std::string s = p.ToString();
+  EXPECT_NE(s.find("m=3"), std::string::npos);
+  EXPECT_NE(s.find("l= 1"), std::string::npos);
+  EXPECT_NE(s.find("l= 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slade

@@ -1,0 +1,64 @@
+#include "binmodel/task.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace slade {
+namespace {
+
+TEST(CrowdsourcingTaskTest, HomogeneousConstruction) {
+  auto task = CrowdsourcingTask::Homogeneous(100, 0.9);
+  ASSERT_TRUE(task.ok());
+  EXPECT_EQ(task->size(), 100u);
+  EXPECT_TRUE(task->is_homogeneous());
+  EXPECT_DOUBLE_EQ(task->threshold(0), 0.9);
+  EXPECT_DOUBLE_EQ(task->threshold(99), 0.9);
+  EXPECT_NEAR(task->theta(0), LogReduction(0.9), 1e-15);
+  EXPECT_DOUBLE_EQ(task->min_threshold(), 0.9);
+  EXPECT_DOUBLE_EQ(task->max_threshold(), 0.9);
+}
+
+TEST(CrowdsourcingTaskTest, HeterogeneousConstruction) {
+  auto task = CrowdsourcingTask::FromThresholds({0.5, 0.6, 0.7, 0.86});
+  ASSERT_TRUE(task.ok());
+  EXPECT_FALSE(task->is_homogeneous());
+  EXPECT_DOUBLE_EQ(task->min_threshold(), 0.5);
+  EXPECT_DOUBLE_EQ(task->max_threshold(), 0.86);
+  // Example 10: theta values 0.69, 0.92, 1.20, 1.97.
+  EXPECT_NEAR(task->theta(0), 0.6931, 1e-4);
+  EXPECT_NEAR(task->theta(1), 0.9163, 1e-4);
+  EXPECT_NEAR(task->theta(3), 1.9661, 1e-4);
+}
+
+TEST(CrowdsourcingTaskTest, EqualThresholdVectorIsHomogeneous) {
+  auto task = CrowdsourcingTask::FromThresholds({0.8, 0.8, 0.8});
+  ASSERT_TRUE(task.ok());
+  EXPECT_TRUE(task->is_homogeneous());
+}
+
+TEST(CrowdsourcingTaskTest, RejectsEmptyTask) {
+  EXPECT_TRUE(CrowdsourcingTask::Homogeneous(0, 0.9)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      CrowdsourcingTask::FromThresholds({}).status().IsInvalidArgument());
+}
+
+TEST(CrowdsourcingTaskTest, RejectsOutOfRangeThresholds) {
+  EXPECT_FALSE(CrowdsourcingTask::Homogeneous(1, 0.0).ok());
+  EXPECT_FALSE(CrowdsourcingTask::Homogeneous(1, 1.0).ok());
+  EXPECT_FALSE(CrowdsourcingTask::Homogeneous(1, -0.5).ok());
+  EXPECT_FALSE(CrowdsourcingTask::Homogeneous(1, 1.5).ok());
+  EXPECT_FALSE(CrowdsourcingTask::FromThresholds({0.9, 1.0}).ok());
+}
+
+TEST(CrowdsourcingTaskTest, ToStringDescribesShape) {
+  auto homo = CrowdsourcingTask::Homogeneous(10, 0.9);
+  EXPECT_NE(homo->ToString().find("t=0.9"), std::string::npos);
+  auto hetero = CrowdsourcingTask::FromThresholds({0.5, 0.9});
+  EXPECT_NE(hetero->ToString().find("[0.5, 0.9]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slade

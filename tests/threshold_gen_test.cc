@@ -1,0 +1,102 @@
+#include "workload/threshold_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace slade {
+namespace {
+
+TEST(ThresholdGenTest, HomogeneousIsConstant) {
+  ThresholdSpec spec;
+  spec.family = ThresholdFamily::kHomogeneous;
+  spec.mu = 0.9;
+  auto ts = GenerateThresholds(spec, 100, 1);
+  ASSERT_TRUE(ts.ok());
+  for (double t : *ts) EXPECT_DOUBLE_EQ(t, 0.9);
+}
+
+TEST(ThresholdGenTest, NormalMatchesMoments) {
+  ThresholdSpec spec;
+  spec.family = ThresholdFamily::kNormal;
+  spec.mu = 0.9;
+  spec.sigma = 0.03;
+  auto ts = GenerateThresholds(spec, 100000, 2);
+  ASSERT_TRUE(ts.ok());
+  OnlineStats stats;
+  for (double t : *ts) stats.Add(t);
+  EXPECT_NEAR(stats.mean(), 0.9, 0.001);
+  EXPECT_NEAR(stats.stddev(), 0.03, 0.002);
+}
+
+TEST(ThresholdGenTest, AllFamiliesRespectClamps) {
+  for (ThresholdFamily family :
+       {ThresholdFamily::kHomogeneous, ThresholdFamily::kNormal,
+        ThresholdFamily::kUniform, ThresholdFamily::kHeavyTail}) {
+    ThresholdSpec spec;
+    spec.family = family;
+    spec.mu = 0.9;
+    spec.sigma = 0.3;  // wide: clamping must kick in
+    auto ts = GenerateThresholds(spec, 20000, 3);
+    ASSERT_TRUE(ts.ok()) << ThresholdFamilyName(family);
+    for (double t : *ts) {
+      ASSERT_GE(t, spec.clamp_lo);
+      ASSERT_LE(t, spec.clamp_hi);
+    }
+  }
+}
+
+TEST(ThresholdGenTest, DeterministicPerSeed) {
+  ThresholdSpec spec;
+  spec.family = ThresholdFamily::kNormal;
+  auto a = GenerateThresholds(spec, 1000, 42);
+  auto b = GenerateThresholds(spec, 1000, 42);
+  auto c = GenerateThresholds(spec, 1000, 43);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_NE(*a, *c);
+}
+
+TEST(ThresholdGenTest, HeavyTailSkewsBelowMu) {
+  ThresholdSpec spec;
+  spec.family = ThresholdFamily::kHeavyTail;
+  spec.mu = 0.95;
+  spec.sigma = 0.05;
+  auto ts = GenerateThresholds(spec, 50000, 4);
+  ASSERT_TRUE(ts.ok());
+  size_t below = 0;
+  for (double t : *ts) {
+    EXPECT_LE(t, 0.95 + 1e-12);
+    if (t < 0.9) ++below;
+  }
+  // A heavy tail reaches far below mu for a nontrivial fraction.
+  EXPECT_GT(below, 1000u);
+}
+
+TEST(ThresholdGenTest, UniformCoversInterval) {
+  ThresholdSpec spec;
+  spec.family = ThresholdFamily::kUniform;
+  spec.mu = 0.85;
+  spec.sigma = 0.05;
+  auto ts = GenerateThresholds(spec, 50000, 5);
+  ASSERT_TRUE(ts.ok());
+  OnlineStats stats;
+  for (double t : *ts) stats.Add(t);
+  EXPECT_NEAR(stats.mean(), 0.85, 0.002);
+  EXPECT_LT(stats.min(), 0.805);
+  EXPECT_GT(stats.max(), 0.895);
+}
+
+TEST(ThresholdGenTest, RejectsBadInputs) {
+  ThresholdSpec spec;
+  EXPECT_FALSE(GenerateThresholds(spec, 0, 1).ok());
+  spec.clamp_lo = 0.9;
+  spec.clamp_hi = 0.5;
+  EXPECT_FALSE(GenerateThresholds(spec, 10, 1).ok());
+  ThresholdSpec bad_hi;
+  bad_hi.clamp_hi = 1.0;
+  EXPECT_FALSE(GenerateThresholds(bad_hi, 10, 1).ok());
+}
+
+}  // namespace
+}  // namespace slade

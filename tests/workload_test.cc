@@ -1,0 +1,62 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace slade {
+namespace {
+
+TEST(WorkloadTest, HomogeneousDefaults) {
+  auto w = MakeHomogeneousWorkload(DatasetKind::kJelly,
+                                   ExperimentDefaults::kNumTasks,
+                                   ExperimentDefaults::kThreshold,
+                                   ExperimentDefaults::kMaxCardinality);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->task.size(), 10000u);
+  EXPECT_TRUE(w->task.is_homogeneous());
+  EXPECT_EQ(w->profile.max_cardinality(), 20u);
+}
+
+TEST(WorkloadTest, HeterogeneousUsesSpec) {
+  ThresholdSpec spec;
+  spec.family = ThresholdFamily::kNormal;
+  spec.mu = 0.9;
+  spec.sigma = 0.03;
+  auto w = MakeHeterogeneousWorkload(DatasetKind::kSmic, 500, spec, 15,
+                                     ExperimentDefaults::kSeed);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->task.size(), 500u);
+  EXPECT_FALSE(w->task.is_homogeneous());
+  EXPECT_EQ(w->profile.max_cardinality(), 15u);
+}
+
+TEST(WorkloadTest, SmicProfileDiffersFromJelly) {
+  auto jelly = MakeHomogeneousWorkload(DatasetKind::kJelly, 10, 0.9, 10);
+  auto smic = MakeHomogeneousWorkload(DatasetKind::kSmic, 10, 0.9, 10);
+  ASSERT_TRUE(jelly.ok());
+  ASSERT_TRUE(smic.ok());
+  // SMIC is a harder task: lower confidence at equal cardinality.
+  for (uint32_t l = 1; l <= 10; ++l) {
+    EXPECT_LT(smic->profile.bin(l).confidence,
+              jelly->profile.bin(l).confidence);
+  }
+}
+
+TEST(WorkloadTest, PropagatesInvalidParameters) {
+  EXPECT_FALSE(MakeHomogeneousWorkload(DatasetKind::kJelly, 0, 0.9, 20).ok());
+  EXPECT_FALSE(
+      MakeHomogeneousWorkload(DatasetKind::kJelly, 10, 1.5, 20).ok());
+  EXPECT_FALSE(
+      MakeHomogeneousWorkload(DatasetKind::kJelly, 10, 0.9, 31).ok());
+}
+
+TEST(WorkloadTest, DeterministicHeterogeneousThresholds) {
+  ThresholdSpec spec;
+  spec.family = ThresholdFamily::kNormal;
+  auto a = MakeHeterogeneousWorkload(DatasetKind::kJelly, 100, spec, 20, 9);
+  auto b = MakeHeterogeneousWorkload(DatasetKind::kJelly, 100, spec, 20, 9);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->task.thresholds(), b->task.thresholds());
+}
+
+}  // namespace
+}  // namespace slade

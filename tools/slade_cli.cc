@@ -1,0 +1,215 @@
+// slade_cli: command-line front end for the SLADE decomposer.
+//
+//   slade_cli profile  --dataset jelly|smic --max-cardinality M --out F
+//       Emit a bin profile CSV from the built-in dataset models.
+//
+//   slade_cli solve    --profile F (--thresholds F | --homogeneous N,T)
+//                      --solver greedy|opq|opq-extended|baseline|fixed
+//                      --out PLAN.csv [--seed S]
+//       Decompose a task and write the plan; prints cost and bin counts.
+//
+//   slade_cli opq      --profile F --threshold T
+//       Print the optimal priority queue (paper Table 3 format).
+//
+//   slade_cli validate --profile F --plan PLAN.csv
+//                      (--thresholds F | --homogeneous N,T)
+//       Re-check a plan's feasibility and cost.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "binmodel/profile_model.h"
+#include "common/stopwatch.h"
+#include "io/model_io.h"
+#include "solver/fixed_cardinality_solver.h"
+#include "solver/opq_builder.h"
+#include "solver/plan_validator.h"
+#include "solver/solver.h"
+
+namespace {
+
+using namespace slade;
+
+int Fail(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  return 1;
+}
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  slade_cli profile  --dataset jelly|smic --max-cardinality M "
+      "--out FILE\n"
+      "  slade_cli solve    --profile FILE (--thresholds FILE | "
+      "--homogeneous N,T)\n"
+      "                     [--solver greedy|opq|opq-extended|baseline|"
+      "fixed] [--out FILE] [--seed S]\n"
+      "  slade_cli opq      --profile FILE --threshold T\n"
+      "  slade_cli validate --profile FILE --plan FILE (--thresholds FILE"
+      " | --homogeneous N,T)\n";
+  return 2;
+}
+
+// Parses --key value pairs after the subcommand.
+std::optional<std::map<std::string, std::string>> ParseFlags(
+    int argc, char** argv, int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i < argc; i += 2) {
+    const char* key = argv[i];
+    if (std::strncmp(key, "--", 2) != 0 || i + 1 >= argc) {
+      return std::nullopt;
+    }
+    flags[key + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+Result<CrowdsourcingTask> LoadTask(
+    const std::map<std::string, std::string>& flags) {
+  auto thresholds = flags.find("thresholds");
+  auto homogeneous = flags.find("homogeneous");
+  if ((thresholds != flags.end()) == (homogeneous != flags.end())) {
+    return Status::InvalidArgument(
+        "exactly one of --thresholds / --homogeneous is required");
+  }
+  if (thresholds != flags.end()) {
+    return LoadThresholdsCsv(thresholds->second);
+  }
+  size_t n = 0;
+  double t = 0.0;
+  if (std::sscanf(homogeneous->second.c_str(), "%zu,%lf", &n, &t) != 2) {
+    return Status::InvalidArgument(
+        "--homogeneous expects N,T (e.g. 10000,0.9)");
+  }
+  return CrowdsourcingTask::Homogeneous(n, t);
+}
+
+Result<std::unique_ptr<Solver>> MakeNamedSolver(const std::string& name,
+                                                const SolverOptions& options) {
+  if (name == "greedy") return MakeSolver(SolverKind::kGreedy, options);
+  if (name == "opq") return MakeSolver(SolverKind::kOpq, options);
+  if (name == "opq-extended") {
+    return MakeSolver(SolverKind::kOpqExtended, options);
+  }
+  if (name == "baseline") return MakeSolver(SolverKind::kBaseline, options);
+  if (name == "fixed") {
+    return std::unique_ptr<Solver>(new FixedCardinalitySolver());
+  }
+  return Status::InvalidArgument("unknown solver: " + name);
+}
+
+int CmdProfile(const std::map<std::string, std::string>& flags) {
+  auto dataset = flags.find("dataset");
+  auto m = flags.find("max-cardinality");
+  auto out = flags.find("out");
+  if (dataset == flags.end() || m == flags.end() || out == flags.end()) {
+    return Usage();
+  }
+  DatasetKind kind;
+  if (dataset->second == "jelly") {
+    kind = DatasetKind::kJelly;
+  } else if (dataset->second == "smic") {
+    kind = DatasetKind::kSmic;
+  } else {
+    return Fail("unknown dataset: " + dataset->second);
+  }
+  const unsigned long max_l = std::strtoul(m->second.c_str(), nullptr, 10);
+  auto profile = BuildProfile(MakeModel(kind),
+                              static_cast<uint32_t>(max_l));
+  if (!profile.ok()) return Fail(profile.status().ToString());
+  Status st = SaveBinProfileCsv(*profile, out->second);
+  if (!st.ok()) return Fail(st.ToString());
+  std::cout << "wrote " << out->second << "\n" << profile->ToString();
+  return 0;
+}
+
+int CmdSolve(const std::map<std::string, std::string>& flags) {
+  auto profile_flag = flags.find("profile");
+  if (profile_flag == flags.end()) return Usage();
+  auto profile = LoadBinProfileCsv(profile_flag->second);
+  if (!profile.ok()) return Fail(profile.status().ToString());
+  auto task = LoadTask(flags);
+  if (!task.ok()) return Fail(task.status().ToString());
+
+  SolverOptions options;
+  if (auto seed = flags.find("seed"); seed != flags.end()) {
+    options.seed = std::strtoull(seed->second.c_str(), nullptr, 10);
+  }
+  const std::string solver_name =
+      flags.count("solver") ? flags.at("solver") : "opq-extended";
+  auto solver = MakeNamedSolver(solver_name, options);
+  if (!solver.ok()) return Fail(solver.status().ToString());
+
+  Stopwatch watch;
+  auto plan = (*solver)->Solve(*task, *profile);
+  if (!plan.ok()) return Fail(plan.status().ToString());
+  const double seconds = watch.ElapsedSeconds();
+
+  auto report = ValidatePlan(*plan, *task, *profile);
+  if (!report.ok()) return Fail(report.status().ToString());
+
+  std::printf("task: %s\n", task->ToString().c_str());
+  std::printf("solver: %s (%.3f s)\n", (*solver)->name().c_str(), seconds);
+  std::printf("%s\n", plan->Summary(*profile).c_str());
+  std::printf("feasible: %s (worst log margin %.6f)\n",
+              report->feasible ? "yes" : "NO", report->worst_log_margin);
+  if (auto out = flags.find("out"); out != flags.end()) {
+    Status st = SavePlanCsv(*plan, out->second);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("plan written to %s\n", out->second.c_str());
+  }
+  return report->feasible ? 0 : 3;
+}
+
+int CmdOpq(const std::map<std::string, std::string>& flags) {
+  auto profile_flag = flags.find("profile");
+  auto threshold = flags.find("threshold");
+  if (profile_flag == flags.end() || threshold == flags.end()) {
+    return Usage();
+  }
+  auto profile = LoadBinProfileCsv(profile_flag->second);
+  if (!profile.ok()) return Fail(profile.status().ToString());
+  const double t = std::strtod(threshold->second.c_str(), nullptr);
+  auto opq = BuildOpq(*profile, t);
+  if (!opq.ok()) return Fail(opq.status().ToString());
+  std::cout << opq->ToString();
+  return 0;
+}
+
+int CmdValidate(const std::map<std::string, std::string>& flags) {
+  auto profile_flag = flags.find("profile");
+  auto plan_flag = flags.find("plan");
+  if (profile_flag == flags.end() || plan_flag == flags.end()) {
+    return Usage();
+  }
+  auto profile = LoadBinProfileCsv(profile_flag->second);
+  if (!profile.ok()) return Fail(profile.status().ToString());
+  auto task = LoadTask(flags);
+  if (!task.ok()) return Fail(task.status().ToString());
+  auto plan = LoadPlanCsv(plan_flag->second);
+  if (!plan.ok()) return Fail(plan.status().ToString());
+  auto report = ValidatePlan(*plan, *task, *profile);
+  if (!report.ok()) return Fail(report.status().ToString());
+  std::printf("cost: %.6f\nfeasible: %s (worst log margin %.6f, task %u)\n",
+              report->total_cost, report->feasible ? "yes" : "NO",
+              report->worst_log_margin, report->worst_task);
+  return report->feasible ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  auto flags = ParseFlags(argc, argv, 2);
+  if (!flags) return Usage();
+  if (command == "profile") return CmdProfile(*flags);
+  if (command == "solve") return CmdSolve(*flags);
+  if (command == "opq") return CmdOpq(*flags);
+  if (command == "validate") return CmdValidate(*flags);
+  return Usage();
+}
