@@ -18,7 +18,7 @@ using namespace slade;
 using slade_bench::RunSolver;
 using slade_bench::TimedSolve;
 
-void Sweep(DatasetKind dataset) {
+void Sweep(DatasetKind dataset, slade_bench::BenchJsonWriter* json) {
   const char* name = DatasetKindName(dataset);
   GreedySolver greedy;
   GreedySolver naive(GreedySolver::Strategy::kNaive);
@@ -50,6 +50,18 @@ void Sweep(DatasetKind dataset) {
     time.AddRow(std::to_string(n),
                 {g.seconds, naive_seconds, o.seconds, b.seconds}, 4);
     cost.AddRow(std::to_string(n), {g.cost, o.cost, b.cost}, 2);
+    const struct {
+      const char* solver;
+      const TimedSolve* run;
+    } series[] = {{"Greedy", &g}, {"OPQ-Extended", &o}, {"Baseline", &b}};
+    for (const auto& s : series) {
+      json->BeginRecord();
+      json->Field("dataset", name);
+      json->Field("solver", s.solver);
+      json->Field("n", static_cast<double>(n));
+      json->Field("seconds", s.run->seconds);
+      json->Field("cost", s.run->cost);
+    }
   }
   PrintBanner(std::cout,
               std::string("Figure 8 analog (") + name +
@@ -66,7 +78,9 @@ void Sweep(DatasetKind dataset) {
 int main() {
   std::cout << "Figure 8 reproduction: heterogeneous scalability "
                "(t_i ~ N(0.9, 0.03), |B|=20).\n";
-  Sweep(DatasetKind::kJelly);
-  Sweep(DatasetKind::kSmic);
+  slade_bench::BenchJsonWriter json("fig8_hetero_scalability");
+  Sweep(DatasetKind::kJelly, &json);
+  Sweep(DatasetKind::kSmic, &json);
+  json.Write();
   return 0;
 }

@@ -5,8 +5,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
@@ -55,6 +57,76 @@ inline TimedSolve RunSolver(slade::Solver& solver,
 /// True when SLADE_BENCH_FAST is set: harnesses shrink their sweeps for
 /// quick iteration during development.
 inline bool FastMode() { return std::getenv("SLADE_BENCH_FAST") != nullptr; }
+
+/// \brief Accumulates flat records and writes them as
+/// `BENCH_<name>.json` next to the human-readable tables, so the perf
+/// trajectory is machine-readable across PRs:
+///
+/// \code
+///   BenchJsonWriter json("engine_batch");
+///   json.BeginRecord();
+///   json.Field("mode", "engine");
+///   json.Field("seconds", 0.004);
+///   ...
+///   json.Write();  // {"bench": "engine_batch", "records": [{...}, ...]}
+/// \endcode
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string name) : name_(std::move(name)) {}
+
+  /// Starts a new record; subsequent Field() calls land in it.
+  void BeginRecord() { records_.emplace_back(); }
+
+  void Field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    Append(key, buf);
+  }
+
+  void Field(const std::string& key, const std::string& value) {
+    Append(key, "\"" + Escape(value) + "\"");
+  }
+
+  std::string path() const { return "BENCH_" + name_ + ".json"; }
+
+  /// Writes the JSON file; warns (but does not abort) on IO failure so a
+  /// read-only working directory never kills a benchmark run.
+  bool Write() const {
+    std::ofstream out(path());
+    if (!out) {
+      std::cerr << "WARNING: cannot write " << path() << "\n";
+      return false;
+    }
+    out << "{\"bench\": \"" << Escape(name_) << "\", \"records\": [";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      out << (i ? ",\n  {" : "\n  {") << records_[i] << "}";
+    }
+    out << "\n]}\n";
+    std::cout << "wrote " << path() << " (" << records_.size()
+              << " records)\n";
+    return out.good();
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  void Append(const std::string& key, const std::string& rendered) {
+    if (records_.empty()) records_.emplace_back();  // Field before BeginRecord
+    std::string& record = records_.back();
+    if (!record.empty()) record += ", ";
+    record += "\"" + Escape(key) + "\": " + rendered;
+  }
+
+  std::string name_;
+  std::vector<std::string> records_;  // serialized field lists
+};
 
 }  // namespace slade_bench
 

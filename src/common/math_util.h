@@ -52,6 +52,14 @@ inline bool ApproxGe(double a, double b, double eps = kRelEps) {
 /// \brief Ceiling of a/b for positive integers.
 inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
 
+/// \brief Mixes `value` into a running 64-bit hash `seed` (boost-style).
+/// Used for cheap structural fingerprints (e.g. OpqCache profile keys);
+/// not cryptographic.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + UINT64_C(0x9e3779b97f4a7c15) + (seed << 6) +
+                 (seed >> 2));
+}
+
 }  // namespace slade
 
 #endif  // SLADE_COMMON_MATH_UTIL_H_

@@ -1,0 +1,194 @@
+#include "engine/decomposition_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/math_util.h"
+#include "common/stopwatch.h"
+#include "solver/opq_set_builder.h"
+#include "solver/opq_solver.h"
+
+namespace slade {
+
+namespace {
+
+/// Appends `plan` to `merged` with every task id shifted by `offset`.
+void AppendWithOffset(const DecompositionPlan& plan, size_t offset,
+                      DecompositionPlan* merged) {
+  for (const BinPlacement& p : plan.placements()) {
+    std::vector<TaskId> shifted = p.tasks;
+    for (TaskId& id : shifted) id += static_cast<TaskId>(offset);
+    merged->Add(p.cardinality, p.copies, std::move(shifted));
+  }
+}
+
+std::vector<size_t> ComputeOffsets(
+    const std::vector<CrowdsourcingTask>& tasks) {
+  std::vector<size_t> offsets(tasks.size() + 1, 0);
+  for (size_t k = 0; k < tasks.size(); ++k) {
+    offsets[k + 1] = offsets[k] + tasks[k].size();
+  }
+  return offsets;
+}
+
+}  // namespace
+
+std::string BatchReport::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "batch: %zu tasks, %zu atomic tasks, %zu shards\n"
+                "cost %.4f, %llu bins, %.3f s (opq cache: %llu hits, "
+                "%llu misses)\n",
+                num_tasks(), num_atomic_tasks(), shards.size(), total_cost,
+                static_cast<unsigned long long>(total_bins), wall_seconds,
+                static_cast<unsigned long long>(opq_cache_hits),
+                static_cast<unsigned long long>(opq_cache_misses));
+  std::string out = buf;
+  for (const ShardStats& s : shards) {
+    std::snprintf(buf, sizeof(buf),
+                  "  shard %zu: t<=%.6f, %zu tasks, cost %.4f, %llu bins, "
+                  "%.4f s%s\n",
+                  s.group, s.surrogate_threshold, s.num_atomic_tasks, s.cost,
+                  static_cast<unsigned long long>(s.bins_posted), s.seconds,
+                  s.opq_cache_hit ? " (cache hit)" : "");
+    out += buf;
+  }
+  return out;
+}
+
+Result<CrowdsourcingTask> ConcatenateTasks(
+    const std::vector<CrowdsourcingTask>& tasks) {
+  std::vector<double> thresholds;
+  size_t total = 0;
+  for (const CrowdsourcingTask& t : tasks) total += t.size();
+  thresholds.reserve(total);
+  for (const CrowdsourcingTask& t : tasks) {
+    thresholds.insert(thresholds.end(), t.thresholds().begin(),
+                      t.thresholds().end());
+  }
+  return CrowdsourcingTask::FromThresholds(std::move(thresholds));
+}
+
+DecompositionEngine::DecompositionEngine(EngineOptions options)
+    : options_(options),
+      pool_(std::make_unique<ThreadPool>(
+          options.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                   : options.num_threads)) {}
+
+DecompositionEngine::~DecompositionEngine() = default;
+
+Result<BatchReport> DecompositionEngine::SolveBatch(
+    const std::vector<CrowdsourcingTask>& tasks, const BinProfile& profile) {
+  if (tasks.empty()) {
+    return Status::InvalidArgument("SolveBatch: empty batch");
+  }
+  Stopwatch wall;
+
+  // Global threshold range across the batch.
+  double t_min = tasks.front().min_threshold();
+  double t_max = tasks.front().max_threshold();
+  for (const CrowdsourcingTask& t : tasks) {
+    t_min = std::min(t_min, t.min_threshold());
+    t_max = std::max(t_max, t.max_threshold());
+  }
+
+  // Algorithm 4 partition of the batch's log-threshold range; each interval
+  // is one (potential) shard.
+  SLADE_ASSIGN_OR_RETURN(
+      std::vector<double> uppers,
+      ComputeThetaPartition(LogReduction(t_min), LogReduction(t_max)));
+
+  // Route every atomic task (by global id) to the lowest interval whose
+  // upper bound covers its log threshold -- Algorithm 5 lines 5-7, applied
+  // batch-wide. Iterating tasks in order keeps shard id lists sorted, which
+  // makes the merged plan independent of thread count.
+  std::vector<size_t> offsets = ComputeOffsets(tasks);
+  std::vector<std::vector<TaskId>> shard_ids(uppers.size());
+  for (size_t k = 0; k < tasks.size(); ++k) {
+    const CrowdsourcingTask& task = tasks[k];
+    for (size_t i = 0; i < task.size(); ++i) {
+      SLADE_ASSIGN_OR_RETURN(
+          size_t g, GroupIndexOf(uppers, task.theta(static_cast<TaskId>(i))));
+      shard_ids[g].push_back(static_cast<TaskId>(offsets[k] + i));
+    }
+  }
+
+  std::vector<size_t> groups;  // non-empty shards, ascending group index
+  for (size_t g = 0; g < shard_ids.size(); ++g) {
+    if (!shard_ids[g].empty()) groups.push_back(g);
+  }
+
+  // Per-shard solves on the pool. Results land in pre-sized slots; no
+  // locking is needed beyond the pool's Wait().
+  OpqBuildOptions build_options;
+  build_options.node_budget = options_.opq_node_budget;
+  std::vector<DecompositionPlan> shard_plans(groups.size());
+  std::vector<ShardStats> shard_stats(groups.size());
+  std::vector<Status> shard_status(groups.size());
+  ParallelFor(pool_.get(), groups.size(), [&](size_t s) {
+    Stopwatch shard_watch;
+    const size_t g = groups[s];
+    const double surrogate = InverseLogReduction(uppers[g]);
+    auto lookup = cache_.GetOrBuild(profile, surrogate, build_options);
+    if (!lookup.ok()) {
+      shard_status[s] = lookup.status();
+      return;
+    }
+    Status st = RunOpqAssignment(*lookup->queue, shard_ids[g], profile,
+                                 &shard_plans[s]);
+    if (!st.ok()) {
+      shard_status[s] = st;
+      return;
+    }
+    ShardStats& stats = shard_stats[s];
+    stats.group = g;
+    stats.theta_upper = uppers[g];
+    stats.surrogate_threshold = surrogate;
+    stats.num_atomic_tasks = shard_ids[g].size();
+    stats.cost = shard_plans[s].TotalCost(profile);
+    stats.bins_posted = shard_plans[s].TotalBinInstances();
+    stats.opq_cache_hit = lookup->hit;
+    stats.seconds = shard_watch.ElapsedSeconds();
+  });
+  for (const Status& st : shard_status) {
+    SLADE_RETURN_NOT_OK(st);
+  }
+
+  // Merge in group order: deterministic regardless of execution order.
+  BatchReport report;
+  report.task_offsets = std::move(offsets);
+  for (size_t s = 0; s < groups.size(); ++s) {
+    report.plan.Append(std::move(shard_plans[s]));
+    report.total_cost += shard_stats[s].cost;
+    report.total_bins += shard_stats[s].bins_posted;
+    report.opq_cache_hits += shard_stats[s].opq_cache_hit ? 1 : 0;
+    report.opq_cache_misses += shard_stats[s].opq_cache_hit ? 0 : 1;
+  }
+  report.shards = std::move(shard_stats);
+  report.wall_seconds = wall.ElapsedSeconds();
+  return report;
+}
+
+Result<BatchReport> SolveBatchSequential(
+    const std::vector<CrowdsourcingTask>& tasks, const BinProfile& profile,
+    const SolverOptions& options) {
+  if (tasks.empty()) {
+    return Status::InvalidArgument("SolveBatchSequential: empty batch");
+  }
+  Stopwatch wall;
+  std::unique_ptr<Solver> solver = MakeSolver(SolverKind::kOpqExtended,
+                                              options);
+  BatchReport report;
+  report.task_offsets = ComputeOffsets(tasks);
+  for (size_t k = 0; k < tasks.size(); ++k) {
+    SLADE_ASSIGN_OR_RETURN(DecompositionPlan plan,
+                           solver->Solve(tasks[k], profile));
+    report.total_cost += plan.TotalCost(profile);
+    report.total_bins += plan.TotalBinInstances();
+    AppendWithOffset(plan, report.task_offsets[k], &report.plan);
+  }
+  report.wall_seconds = wall.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace slade

@@ -1,0 +1,134 @@
+// Copyright (c) the SLADE reproduction authors.
+// Batched, sharded, thread-parallel decomposition of whole workloads.
+//
+// The paper solves one large-scale crowdsourcing task at a time; a platform
+// serving many requesters receives thousands of them per batch. Because
+// atomic tasks are independent boolean questions (Section 3.1), a batch of
+// crowdsourcing tasks is itself one big heterogeneous SLADE instance, so
+// the engine pools every atomic task in the batch, shards the pool by the
+// Algorithm 4 threshold groups, solves each shard with the Algorithm 3
+// assignment under the shard's optimal priority queue, and merges the
+// per-shard plans. Sharding across the whole batch (instead of per input
+// task) means:
+//   * one OPQ build per threshold group for the entire batch, served
+//     through OpqCache so repeated batches never re-run Algorithm 2;
+//   * shards are independent, so they run in parallel on common/ThreadPool;
+//   * leftover-padding waste (Algorithm 3 lines 8-10) is paid once per
+//     shard, not once per input task.
+
+#ifndef SLADE_ENGINE_DECOMPOSITION_ENGINE_H_
+#define SLADE_ENGINE_DECOMPOSITION_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "binmodel/task.h"
+#include "binmodel/task_bin.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "engine/opq_cache.h"
+#include "solver/plan.h"
+#include "solver/solver.h"
+
+namespace slade {
+
+/// \brief Tuning knobs for the batch engine.
+struct EngineOptions {
+  /// Worker threads for per-shard solves; 0 = ThreadPool::DefaultThreads().
+  /// The merged plan is identical regardless of thread count: shards are
+  /// formed deterministically and merged in group order.
+  uint32_t num_threads = 0;
+  /// Passed through to BuildOpq on cache misses.
+  uint64_t opq_node_budget = 50'000'000;
+};
+
+/// \brief Per-shard solve statistics (one shard = one threshold group with
+/// at least one atomic task routed to it).
+struct ShardStats {
+  /// Index of the threshold group in the Algorithm 4 partition.
+  size_t group = 0;
+  /// Interval upper bound tau and the surrogate threshold 1 - e^{-tau}
+  /// the shard's queue was built for.
+  double theta_upper = 0.0;
+  double surrogate_threshold = 0.0;
+  size_t num_atomic_tasks = 0;
+  double cost = 0.0;
+  uint64_t bins_posted = 0;
+  /// Wall time of this shard's queue lookup + assignment.
+  double seconds = 0.0;
+  /// True iff the shard's queue came out of the OpqCache without a build.
+  bool opq_cache_hit = false;
+};
+
+/// \brief The merged result of a batch solve.
+///
+/// The merged plan addresses atomic tasks by *global* id: the atomic tasks
+/// of input task `k` occupy ids [task_offsets[k], task_offsets[k+1]).
+struct BatchReport {
+  DecompositionPlan plan;
+  std::vector<size_t> task_offsets;  // size = #input tasks + 1
+  double total_cost = 0.0;
+  uint64_t total_bins = 0;
+  double wall_seconds = 0.0;
+  /// OpqCache traffic attributable to this batch.
+  uint64_t opq_cache_hits = 0;
+  uint64_t opq_cache_misses = 0;
+  std::vector<ShardStats> shards;
+
+  size_t num_tasks() const {
+    return task_offsets.empty() ? 0 : task_offsets.size() - 1;
+  }
+  size_t num_atomic_tasks() const {
+    return task_offsets.empty() ? 0 : task_offsets.back();
+  }
+
+  /// Human-readable multi-line summary (totals + per-shard table).
+  std::string ToString() const;
+};
+
+/// \brief Concatenates a batch into the single heterogeneous task the
+/// merged plan decomposes (global ids follow the batch order). Fails on an
+/// empty batch.
+Result<CrowdsourcingTask> ConcatenateTasks(
+    const std::vector<CrowdsourcingTask>& tasks);
+
+/// \brief The batch decomposition engine. Reusable across batches; the
+/// OPQ cache persists, so a stream of batches from the same platform
+/// profile amortizes every Algorithm 2 enumeration across the stream.
+class DecompositionEngine {
+ public:
+  explicit DecompositionEngine(EngineOptions options = {});
+  ~DecompositionEngine();
+
+  DecompositionEngine(const DecompositionEngine&) = delete;
+  DecompositionEngine& operator=(const DecompositionEngine&) = delete;
+
+  /// Decomposes the whole batch under `profile`. Deterministic: the merged
+  /// plan depends only on (tasks, profile), never on thread count or
+  /// cache state. Fails on an empty batch or invalid thresholds.
+  Result<BatchReport> SolveBatch(const std::vector<CrowdsourcingTask>& tasks,
+                                 const BinProfile& profile);
+
+  const OpqCache& cache() const { return cache_; }
+  size_t num_threads() const { return pool_->num_threads(); }
+
+ private:
+  EngineOptions options_;
+  OpqCache cache_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// \brief Reference implementation: solves each input task independently
+/// with OPQ-Extended (Algorithm 5), no memoization, no threading, and
+/// merges the per-task plans with global ids. This is what a platform
+/// looping the paper's solver over its queue would do; bench_engine_batch
+/// reports the engine's speedup against it.
+Result<BatchReport> SolveBatchSequential(
+    const std::vector<CrowdsourcingTask>& tasks, const BinProfile& profile,
+    const SolverOptions& options = {});
+
+}  // namespace slade
+
+#endif  // SLADE_ENGINE_DECOMPOSITION_ENGINE_H_

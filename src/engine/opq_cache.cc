@@ -1,0 +1,89 @@
+#include "engine/opq_cache.h"
+
+#include <cstring>
+
+#include "common/math_util.h"
+
+namespace slade {
+
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+uint64_t OpqCache::ProfileFingerprint(const BinProfile& profile) {
+  uint64_t h = UINT64_C(0x51ade);
+  for (const TaskBin& bin : profile.bins()) {
+    h = HashCombine(h, bin.cardinality);
+    h = HashCombine(h, DoubleBits(bin.confidence));
+    h = HashCombine(h, DoubleBits(bin.cost));
+  }
+  return h;
+}
+
+Result<OpqCache::Lookup> OpqCache::GetOrBuild(const BinProfile& profile,
+                                              double threshold,
+                                              const OpqBuildOptions& options) {
+  const Key key{ProfileFingerprint(profile), DoubleBits(threshold)};
+
+  std::shared_ptr<Entry> entry;
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      it = entries_.emplace(key, std::make_shared<Entry>()).first;
+      inserted = true;
+      ++misses_;
+    } else {
+      ++hits_;
+    }
+    entry = it->second;
+  }
+
+  // The map lock is released before the (potentially long) build so other
+  // keys proceed concurrently; racers on the same key serialize here.
+  std::lock_guard<std::mutex> build_lock(entry->build_mutex);
+  if (!entry->done) {
+    auto built = BuildOpq(profile, threshold, options);
+    if (built.ok()) {
+      entry->queue = std::make_shared<const OptimalPriorityQueue>(
+          std::move(built).ValueOrDie());
+    } else {
+      entry->error = built.status();
+    }
+    entry->done = true;
+  }
+  if (!entry->error.ok()) return entry->error;
+  return Lookup{entry->queue, /*hit=*/!inserted};
+}
+
+size_t OpqCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+uint64_t OpqCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+uint64_t OpqCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+void OpqCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace slade

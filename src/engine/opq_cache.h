@@ -1,0 +1,85 @@
+// Copyright (c) the SLADE reproduction authors.
+// Memoized optimal-priority-queue builds, keyed by (profile, threshold).
+//
+// Building an OPQ (Algorithm 2) is the expensive, input-independent part of
+// the OPQ-Based/OPQ-Extended solvers: it depends only on the bin profile and
+// the reliability threshold, never on which atomic tasks are being assigned.
+// A batch of crowdsourcing tasks drawn from the same platform therefore
+// re-requests the same handful of (profile, threshold) keys over and over;
+// this cache makes every repeat a map lookup instead of a DFS enumeration.
+
+#ifndef SLADE_ENGINE_OPQ_CACHE_H_
+#define SLADE_ENGINE_OPQ_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "binmodel/task_bin.h"
+#include "common/result.h"
+#include "solver/opq_builder.h"
+
+namespace slade {
+
+/// \brief Thread-safe memo of BuildOpq results.
+///
+/// Keys are (profile fingerprint, threshold bit pattern): two lookups share
+/// an entry iff their profiles are structurally identical and their
+/// thresholds are the exact same double. Concurrent lookups of the same key
+/// build once; the racers block on the entry and receive the shared queue.
+/// Queues are handed out as shared_ptr<const ...>, so entries stay valid
+/// even if the cache is cleared while a solve is in flight.
+class OpqCache {
+ public:
+  struct Lookup {
+    std::shared_ptr<const OptimalPriorityQueue> queue;
+    /// False iff this call ran the Algorithm 2 enumeration itself.
+    bool hit = false;
+  };
+
+  OpqCache() = default;
+  OpqCache(const OpqCache&) = delete;
+  OpqCache& operator=(const OpqCache&) = delete;
+
+  /// Returns the memoized queue for (profile, threshold), building it on
+  /// first use. A failed build is memoized too (same inputs would fail the
+  /// same way) and its Status is returned to every caller of the key.
+  Result<Lookup> GetOrBuild(const BinProfile& profile, double threshold,
+                            const OpqBuildOptions& options = {});
+
+  /// Number of distinct keys currently held (built or failed).
+  size_t size() const;
+
+  /// Cumulative lookup counters across the cache's lifetime.
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+  /// Drops all entries and resets the counters. Queues already handed out
+  /// remain valid (shared ownership).
+  void Clear();
+
+  /// Structural fingerprint of a profile: hash over every bin's
+  /// (cardinality, confidence, cost). Exposed for tests.
+  static uint64_t ProfileFingerprint(const BinProfile& profile);
+
+ private:
+  using Key = std::pair<uint64_t, uint64_t>;  // (fingerprint, threshold bits)
+
+  struct Entry {
+    std::mutex build_mutex;
+    bool done = false;
+    std::shared_ptr<const OptimalPriorityQueue> queue;  // null on failure
+    Status error;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::shared_ptr<Entry>> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace slade
+
+#endif  // SLADE_ENGINE_OPQ_CACHE_H_

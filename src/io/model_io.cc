@@ -101,6 +101,68 @@ Status SaveThresholdsCsv(const CrowdsourcingTask& task,
   return writer.Close();
 }
 
+Result<std::vector<CrowdsourcingTask>> LoadBatchWorkloadCsv(
+    const std::string& path) {
+  SLADE_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
+  SLADE_RETURN_NOT_OK(CheckHeader(rows, {"task", "threshold"}, path));
+  std::vector<CrowdsourcingTask> tasks;
+  std::vector<double> current;
+  uint64_t current_index = 0;
+  auto flush = [&]() -> Status {
+    if (current.empty()) return Status::OK();
+    auto task = CrowdsourcingTask::FromThresholds(std::move(current));
+    if (!task.ok()) return task.status();
+    tasks.push_back(std::move(task).ValueOrDie());
+    current.clear();
+    return Status::OK();
+  };
+  bool seen_any = false;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != 2) {
+      return Status::InvalidArgument(path + ": row " + std::to_string(r) +
+                                     " needs 2 cells");
+    }
+    SLADE_ASSIGN_OR_RETURN(uint64_t index, ParseUint(rows[r][0]));
+    SLADE_ASSIGN_OR_RETURN(double threshold, ParseDouble(rows[r][1]));
+    if (!seen_any) {
+      if (index != 0) {
+        return Status::InvalidArgument(path + ": first task index must be 0");
+      }
+      seen_any = true;
+    } else if (index == current_index + 1) {
+      SLADE_RETURN_NOT_OK(flush());
+      current_index = index;
+    } else if (index != current_index) {
+      return Status::InvalidArgument(
+          path + ": row " + std::to_string(r) + ": task index " +
+          std::to_string(index) + " after " + std::to_string(current_index) +
+          " (indices must start at 0 and increase by at most 1)");
+    }
+    current.push_back(threshold);
+  }
+  SLADE_RETURN_NOT_OK(flush());
+  if (tasks.empty()) {
+    return Status::InvalidArgument(path + ": empty workload");
+  }
+  return tasks;
+}
+
+Status SaveBatchWorkloadCsv(const std::vector<CrowdsourcingTask>& tasks,
+                            const std::string& path) {
+  CsvWriter writer;
+  SLADE_RETURN_NOT_OK(writer.Open(path, {"task", "threshold"}));
+  char buf[64];
+  for (size_t k = 0; k < tasks.size(); ++k) {
+    for (size_t i = 0; i < tasks[k].size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%.10g",
+                    tasks[k].threshold(static_cast<TaskId>(i)));
+      SLADE_RETURN_NOT_OK(writer.WriteRow(
+          std::vector<std::string>{std::to_string(k), buf}));
+    }
+  }
+  return writer.Close();
+}
+
 Status SavePlanCsv(const DecompositionPlan& plan, const std::string& path) {
   CsvWriter writer;
   SLADE_RETURN_NOT_OK(writer.Open(path, {"cardinality", "copies", "tasks"}));

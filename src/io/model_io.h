@@ -6,6 +6,7 @@
 #define SLADE_IO_MODEL_IO_H_
 
 #include <string>
+#include <vector>
 
 #include "binmodel/task.h"
 #include "binmodel/task_bin.h"
@@ -29,6 +30,18 @@ Result<CrowdsourcingTask> LoadThresholdsCsv(const std::string& path);
 /// \brief Writes thresholds in the same format.
 Status SaveThresholdsCsv(const CrowdsourcingTask& task,
                          const std::string& path);
+
+/// \brief Loads a batch workload from CSV with header `task,threshold`:
+/// one row per atomic task, `task` a 0-based crowdsourcing-task index.
+/// Rows for the same task must be consecutive and indices must start at 0
+/// and increase by at most 1 (so the file is unambiguous and the batch
+/// order is the file order).
+Result<std::vector<CrowdsourcingTask>> LoadBatchWorkloadCsv(
+    const std::string& path);
+
+/// \brief Writes a batch workload in the same format.
+Status SaveBatchWorkloadCsv(const std::vector<CrowdsourcingTask>& tasks,
+                            const std::string& path);
 
 /// \brief Writes a plan as CSV with header `cardinality,copies,tasks`
 /// where `tasks` is a semicolon-joined id list.

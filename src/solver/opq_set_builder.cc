@@ -7,23 +7,26 @@
 
 namespace slade {
 
-Result<size_t> OpqSet::GroupOf(double theta) const {
-  auto it = std::lower_bound(uppers_.begin(), uppers_.end(),
-                             theta - kRelEps);
-  if (it == uppers_.end()) {
+Result<size_t> GroupIndexOf(const std::vector<double>& uppers,
+                            double theta) {
+  auto it = std::lower_bound(uppers.begin(), uppers.end(), theta - kRelEps);
+  if (it == uppers.end()) {
     return Status::OutOfRange("theta " + std::to_string(theta) +
                               " above the largest interval bound " +
-                              std::to_string(uppers_.back()));
+                              std::to_string(uppers.back()));
   }
-  return static_cast<size_t>(it - uppers_.begin());
+  return static_cast<size_t>(it - uppers.begin());
 }
 
-Result<OpqSet> BuildOpqSet(const BinProfile& profile, double theta_min,
-                           double theta_max,
-                           const OpqBuildOptions& options) {
+Result<size_t> OpqSet::GroupOf(double theta) const {
+  return GroupIndexOf(uppers_, theta);
+}
+
+Result<std::vector<double>> ComputeThetaPartition(double theta_min,
+                                                  double theta_max) {
   if (!(theta_min > 0.0) || theta_min > theta_max) {
     return Status::InvalidArgument(
-        "need 0 < theta_min <= theta_max in BuildOpqSet");
+        "need 0 < theta_min <= theta_max in ComputeThetaPartition");
   }
   // Algorithm 4: alpha = floor(log2 theta_min); intervals with upper
   // bounds 2^{alpha+i+1}, the last clipped to theta_max.
@@ -37,6 +40,14 @@ Result<OpqSet> BuildOpqSet(const BinProfile& profile, double theta_min,
   // Degenerate case (theta_min == theta_max == exact power of two): the
   // loop body never runs; a single queue at theta_max covers everything.
   if (uppers.empty()) uppers.push_back(theta_max);
+  return uppers;
+}
+
+Result<OpqSet> BuildOpqSet(const BinProfile& profile, double theta_min,
+                           double theta_max,
+                           const OpqBuildOptions& options) {
+  SLADE_ASSIGN_OR_RETURN(std::vector<double> uppers,
+                         ComputeThetaPartition(theta_min, theta_max));
 
   std::vector<OptimalPriorityQueue> queues;
   queues.reserve(uppers.size());

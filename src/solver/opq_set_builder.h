@@ -41,6 +41,21 @@ class OpqSet {
   std::vector<OptimalPriorityQueue> queues_;
 };
 
+/// \brief The Algorithm 4 interval upper bounds for log-threshold range
+/// [theta_min, theta_max]: `tau_i = min(2^{alpha+i+1}, theta_max)` with
+/// `alpha = floor(log2 theta_min)`, ascending. Never empty. Exposed
+/// separately from BuildOpqSet so callers that memoize queue builds (the
+/// batch engine's OpqCache) can shard tasks by threshold group without
+/// forcing a fresh build per group. Requires 0 < theta_min <= theta_max.
+Result<std::vector<double>> ComputeThetaPartition(double theta_min,
+                                                  double theta_max);
+
+/// \brief Index of the lowest partition interval whose upper bound covers
+/// log-threshold `theta` (with the kRelEps tolerance OpqSet::GroupOf
+/// uses). Shared by OpqSet and the batch engine's shard routing so the
+/// two can never diverge. OutOfRange if theta exceeds the last bound.
+Result<size_t> GroupIndexOf(const std::vector<double>& uppers, double theta);
+
 /// \brief Runs Algorithm 4 for log-threshold range [theta_min, theta_max].
 /// Requires 0 < theta_min <= theta_max.
 Result<OpqSet> BuildOpqSet(const BinProfile& profile, double theta_min,

@@ -26,4 +26,28 @@ Result<Workload> MakeHeterogeneousWorkload(DatasetKind dataset, size_t n,
   return Workload{std::move(task), std::move(profile)};
 }
 
+Result<BatchWorkload> MakeBatchWorkload(DatasetKind dataset, size_t num_tasks,
+                                        size_t atomic_per_task,
+                                        const ThresholdSpec& spec,
+                                        uint32_t max_cardinality,
+                                        uint64_t seed) {
+  if (num_tasks == 0) {
+    return Status::InvalidArgument("MakeBatchWorkload: num_tasks must be > 0");
+  }
+  SLADE_ASSIGN_OR_RETURN(BinProfile profile,
+                         BuildProfile(MakeModel(dataset), max_cardinality));
+  std::vector<CrowdsourcingTask> tasks;
+  tasks.reserve(num_tasks);
+  for (size_t k = 0; k < num_tasks; ++k) {
+    SLADE_ASSIGN_OR_RETURN(
+        std::vector<double> thresholds,
+        GenerateThresholds(spec, atomic_per_task, seed + k));
+    SLADE_ASSIGN_OR_RETURN(
+        CrowdsourcingTask task,
+        CrowdsourcingTask::FromThresholds(std::move(thresholds)));
+    tasks.push_back(std::move(task));
+  }
+  return BatchWorkload{std::move(tasks), std::move(profile)};
+}
+
 }  // namespace slade

@@ -6,6 +6,7 @@
 #define SLADE_WORKLOAD_WORKLOAD_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "binmodel/profile_model.h"
 #include "binmodel/task.h"
@@ -42,6 +43,23 @@ Result<Workload> MakeHeterogeneousWorkload(DatasetKind dataset, size_t n,
                                            const ThresholdSpec& spec,
                                            uint32_t max_cardinality,
                                            uint64_t seed);
+
+/// \brief A whole batch of crowdsourcing tasks sharing one platform
+/// profile -- the input unit of engine/DecompositionEngine.
+struct BatchWorkload {
+  std::vector<CrowdsourcingTask> tasks;
+  BinProfile profile;
+};
+
+/// \brief Builds `num_tasks` heterogeneous crowdsourcing tasks of
+/// `atomic_per_task` atomic tasks each, thresholds drawn from `spec` with
+/// per-task seeds derived from `seed` (so the batch is deterministic and
+/// each task's draw is independent of the batch size).
+Result<BatchWorkload> MakeBatchWorkload(DatasetKind dataset, size_t num_tasks,
+                                        size_t atomic_per_task,
+                                        const ThresholdSpec& spec,
+                                        uint32_t max_cardinality,
+                                        uint64_t seed);
 
 }  // namespace slade
 

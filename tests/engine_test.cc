@@ -1,0 +1,151 @@
+#include "engine/decomposition_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "solver/opq_solver.h"
+#include "solver/plan_validator.h"
+#include "workload/workload.h"
+
+namespace slade {
+namespace {
+
+BatchWorkload SmallHeterogeneousBatch(size_t num_tasks = 40,
+                                      size_t atomic_per_task = 25) {
+  ThresholdSpec spec;
+  spec.family = ThresholdFamily::kNormal;
+  spec.mu = 0.9;
+  spec.sigma = 0.03;
+  auto batch = MakeBatchWorkload(DatasetKind::kJelly, num_tasks,
+                                 atomic_per_task, spec, 10,
+                                 ExperimentDefaults::kSeed);
+  EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+  return std::move(batch).ValueOrDie();
+}
+
+// Plans don't expose operator==; compare the observable outcome instead:
+// cost, bin counts per cardinality, and the serialized placements.
+std::string PlanSignature(const DecompositionPlan& plan) {
+  std::string sig;
+  for (const BinPlacement& p : plan.placements()) {
+    sig += std::to_string(p.cardinality) + "x" + std::to_string(p.copies) +
+           ":";
+    for (TaskId id : p.tasks) sig += std::to_string(id) + ";";
+    sig += "|";
+  }
+  return sig;
+}
+
+TEST(DecompositionEngineTest, EmptyBatchIsRejected) {
+  DecompositionEngine engine;
+  auto profile = BinProfile::PaperExample();
+  auto report = engine.SolveBatch({}, profile);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsInvalidArgument());
+}
+
+TEST(DecompositionEngineTest, MergedPlanIsFeasible) {
+  BatchWorkload batch = SmallHeterogeneousBatch();
+  DecompositionEngine engine;
+  auto report = engine.SolveBatch(batch.tasks, batch.profile);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  auto merged_task = ConcatenateTasks(batch.tasks);
+  ASSERT_TRUE(merged_task.ok());
+  ASSERT_EQ(merged_task->size(), report->num_atomic_tasks());
+  auto validation = ValidatePlan(report->plan, *merged_task, batch.profile);
+  ASSERT_TRUE(validation.ok()) << validation.status().ToString();
+  EXPECT_TRUE(validation->feasible)
+      << "worst log margin " << validation->worst_log_margin;
+  EXPECT_NEAR(validation->total_cost, report->total_cost, 1e-6);
+  EXPECT_EQ(report->plan.TotalBinInstances(), report->total_bins);
+}
+
+TEST(DecompositionEngineTest, DeterministicAcrossThreadCounts) {
+  BatchWorkload batch = SmallHeterogeneousBatch();
+  std::string reference_sig;
+  double reference_cost = 0.0;
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    EngineOptions options;
+    options.num_threads = threads;
+    DecompositionEngine engine(options);
+    auto report = engine.SolveBatch(batch.tasks, batch.profile);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    if (threads == 1) {
+      reference_sig = PlanSignature(report->plan);
+      reference_cost = report->total_cost;
+      continue;
+    }
+    EXPECT_EQ(PlanSignature(report->plan), reference_sig)
+        << "plan differs at " << threads << " threads";
+    EXPECT_DOUBLE_EQ(report->total_cost, reference_cost);
+  }
+}
+
+TEST(DecompositionEngineTest, RepeatedBatchHitsTheCache) {
+  BatchWorkload batch = SmallHeterogeneousBatch();
+  DecompositionEngine engine;
+  auto first = engine.SolveBatch(batch.tasks, batch.profile);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->opq_cache_hits, 0u);
+  EXPECT_EQ(first->opq_cache_misses, first->shards.size());
+
+  auto second = engine.SolveBatch(batch.tasks, batch.profile);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->opq_cache_hits, second->shards.size());
+  EXPECT_EQ(second->opq_cache_misses, 0u);
+  EXPECT_EQ(PlanSignature(second->plan), PlanSignature(first->plan));
+}
+
+TEST(DecompositionEngineTest,
+     SingleHomogeneousTaskMatchesOpqSolverCost) {
+  auto profile = BinProfile::PaperExample();
+  auto task = CrowdsourcingTask::Homogeneous(1000, 0.9);
+  ASSERT_TRUE(task.ok());
+
+  OpqSolver solver;
+  auto direct = solver.Solve(*task, profile);
+  ASSERT_TRUE(direct.ok());
+
+  DecompositionEngine engine;
+  auto report = engine.SolveBatch({*task}, profile);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->shards.size(), 1u);
+  EXPECT_NEAR(report->total_cost, direct->TotalCost(profile), 1e-9);
+}
+
+TEST(DecompositionEngineTest, SequentialReferenceAgreesOnFeasibility) {
+  BatchWorkload batch = SmallHeterogeneousBatch(10, 30);
+  auto sequential = SolveBatchSequential(batch.tasks, batch.profile);
+  ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+
+  auto merged_task = ConcatenateTasks(batch.tasks);
+  ASSERT_TRUE(merged_task.ok());
+  auto validation =
+      ValidatePlan(sequential->plan, *merged_task, batch.profile);
+  ASSERT_TRUE(validation.ok()) << validation.status().ToString();
+  EXPECT_TRUE(validation->feasible);
+  EXPECT_NEAR(validation->total_cost, sequential->total_cost, 1e-6);
+
+  // The engine's batch-wide sharding pays the leftover padding once per
+  // shard instead of once per task, so it never does meaningfully worse.
+  DecompositionEngine engine;
+  auto batched = engine.SolveBatch(batch.tasks, batch.profile);
+  ASSERT_TRUE(batched.ok());
+  EXPECT_LE(batched->total_cost, sequential->total_cost * 1.01);
+}
+
+TEST(ConcatenateTasksTest, PreservesOrderAndThresholds) {
+  auto a = CrowdsourcingTask::FromThresholds({0.8, 0.9});
+  auto b = CrowdsourcingTask::FromThresholds({0.7});
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto merged = ConcatenateTasks({*a, *b});
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->size(), 3u);
+  EXPECT_DOUBLE_EQ(merged->threshold(0), 0.8);
+  EXPECT_DOUBLE_EQ(merged->threshold(1), 0.9);
+  EXPECT_DOUBLE_EQ(merged->threshold(2), 0.7);
+  EXPECT_FALSE(ConcatenateTasks({}).ok());
+}
+
+}  // namespace
+}  // namespace slade

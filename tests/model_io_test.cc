@@ -108,6 +108,49 @@ TEST_F(ModelIoTest, LoadMissingFileFails) {
   EXPECT_TRUE(LoadBinProfileCsv("/no/such.csv").status().IsIOError());
   EXPECT_TRUE(LoadThresholdsCsv("/no/such.csv").status().IsIOError());
   EXPECT_TRUE(LoadPlanCsv("/no/such.csv").status().IsIOError());
+  EXPECT_TRUE(LoadBatchWorkloadCsv("/no/such.csv").status().IsIOError());
+}
+
+TEST_F(ModelIoTest, BatchWorkloadRoundTrip) {
+  std::vector<CrowdsourcingTask> tasks;
+  tasks.push_back(
+      CrowdsourcingTask::FromThresholds({0.8, 0.9, 0.85}).ValueOrDie());
+  tasks.push_back(CrowdsourcingTask::Homogeneous(5, 0.92).ValueOrDie());
+  tasks.push_back(CrowdsourcingTask::FromThresholds({0.7}).ValueOrDie());
+  ASSERT_TRUE(SaveBatchWorkloadCsv(tasks, path_).ok());
+  auto loaded = LoadBatchWorkloadCsv(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), tasks.size());
+  for (size_t k = 0; k < tasks.size(); ++k) {
+    ASSERT_EQ((*loaded)[k].size(), tasks[k].size()) << "task " << k;
+    for (size_t i = 0; i < tasks[k].size(); ++i) {
+      EXPECT_NEAR((*loaded)[k].threshold(static_cast<TaskId>(i)),
+                  tasks[k].threshold(static_cast<TaskId>(i)), 1e-9);
+    }
+  }
+}
+
+TEST_F(ModelIoTest, BatchWorkloadRejectsBadIndexSequences) {
+  {
+    std::ofstream out(path_);
+    out << "task,threshold\n1,0.9\n";  // must start at 0
+  }
+  EXPECT_TRUE(LoadBatchWorkloadCsv(path_).status().IsInvalidArgument());
+  {
+    std::ofstream out(path_);
+    out << "task,threshold\n0,0.9\n2,0.9\n";  // gap
+  }
+  EXPECT_TRUE(LoadBatchWorkloadCsv(path_).status().IsInvalidArgument());
+  {
+    std::ofstream out(path_);
+    out << "task,threshold\n0,0.9\n1,0.8\n0,0.9\n";  // goes backwards
+  }
+  EXPECT_TRUE(LoadBatchWorkloadCsv(path_).status().IsInvalidArgument());
+  {
+    std::ofstream out(path_);
+    out << "task,threshold\n";  // no rows
+  }
+  EXPECT_TRUE(LoadBatchWorkloadCsv(path_).status().IsInvalidArgument());
 }
 
 }  // namespace

@@ -1,0 +1,133 @@
+#include "engine/opq_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "binmodel/profile_model.h"
+#include "solver/opq_solver.h"
+#include "solver/plan.h"
+
+namespace slade {
+namespace {
+
+TEST(OpqCacheTest, MissThenHit) {
+  OpqCache cache;
+  auto profile = BinProfile::PaperExample();
+  auto first = cache.GetOrBuild(profile, 0.9);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->hit);
+  auto second = cache.GetOrBuild(profile, 0.9);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->hit);
+  EXPECT_EQ(first->queue.get(), second->queue.get());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(OpqCacheTest, CachedQueueEqualsFreshBuild) {
+  OpqCache cache;
+  auto profile = BinProfile::PaperExample();
+  for (double t : {0.8, 0.9, 0.95}) {
+    auto cached = cache.GetOrBuild(profile, t);
+    ASSERT_TRUE(cached.ok());
+    auto fresh = BuildOpq(profile, t);
+    ASSERT_TRUE(fresh.ok());
+    ASSERT_EQ(cached->queue->size(), fresh->size());
+    EXPECT_DOUBLE_EQ(cached->queue->theta(), fresh->theta());
+    for (size_t i = 0; i < fresh->size(); ++i) {
+      EXPECT_EQ(cached->queue->element(i).lcm(), fresh->element(i).lcm());
+      EXPECT_DOUBLE_EQ(cached->queue->element(i).unit_cost(),
+                       fresh->element(i).unit_cost());
+    }
+  }
+}
+
+TEST(OpqCacheTest, CachedQueueProducesSamePlanAsFreshBuild) {
+  OpqCache cache;
+  auto profile = BinProfile::PaperExample();
+  auto cached = cache.GetOrBuild(profile, 0.92);
+  ASSERT_TRUE(cached.ok());
+  auto fresh = BuildOpq(profile, 0.92);
+  ASSERT_TRUE(fresh.ok());
+
+  std::vector<TaskId> ids(1234);
+  std::iota(ids.begin(), ids.end(), 0);
+  DecompositionPlan from_cache, from_fresh;
+  ASSERT_TRUE(
+      RunOpqAssignment(*cached->queue, ids, profile, &from_cache).ok());
+  ASSERT_TRUE(RunOpqAssignment(*fresh, ids, profile, &from_fresh).ok());
+  EXPECT_DOUBLE_EQ(from_cache.TotalCost(profile),
+                   from_fresh.TotalCost(profile));
+  EXPECT_EQ(from_cache.TotalBinInstances(), from_fresh.TotalBinInstances());
+  EXPECT_EQ(from_cache.BinCounts(profile.max_cardinality()),
+            from_fresh.BinCounts(profile.max_cardinality()));
+}
+
+TEST(OpqCacheTest, DistinctProfilesGetDistinctEntries) {
+  OpqCache cache;
+  auto jelly = BuildProfile(JellyModel(), 10);
+  auto smic = BuildProfile(SmicModel(), 10);
+  ASSERT_TRUE(jelly.ok() && smic.ok());
+  EXPECT_NE(OpqCache::ProfileFingerprint(*jelly),
+            OpqCache::ProfileFingerprint(*smic));
+  ASSERT_TRUE(cache.GetOrBuild(*jelly, 0.9).ok());
+  ASSERT_TRUE(cache.GetOrBuild(*smic, 0.9).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(OpqCacheTest, InvalidThresholdErrorIsMemoized) {
+  OpqCache cache;
+  auto profile = BinProfile::PaperExample();
+  auto first = cache.GetOrBuild(profile, 1.5);
+  EXPECT_FALSE(first.ok());
+  auto second = cache.GetOrBuild(profile, 1.5);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(first.status().code(), second.status().code());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(OpqCacheTest, ConcurrentLookupsBuildOnce) {
+  OpqCache cache;
+  auto profile = BinProfile::PaperExample();
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const OptimalPriorityQueue>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&cache, &profile, &seen, i] {
+      auto lookup = cache.GetOrBuild(profile, 0.9);
+      if (lookup.ok()) seen[i] = lookup->queue;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_NE(seen[0], nullptr);
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(seen[i].get(), seen[0].get());
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(OpqCacheTest, ClearResetsEverythingButKeepsHandedOutQueues) {
+  OpqCache cache;
+  auto profile = BinProfile::PaperExample();
+  auto lookup = cache.GetOrBuild(profile, 0.9);
+  ASSERT_TRUE(lookup.ok());
+  auto held = lookup->queue;
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_GT(held->size(), 0u);  // still usable after Clear
+  auto rebuilt = cache.GetOrBuild(profile, 0.9);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_FALSE(rebuilt->hit);
+}
+
+}  // namespace
+}  // namespace slade

@@ -14,6 +14,12 @@
 //   slade_cli validate --profile F --plan PLAN.csv
 //                      (--thresholds F | --homogeneous N,T)
 //       Re-check a plan's feasibility and cost.
+//
+//   slade_cli batch    --profile F --workload W.csv [--threads K]
+//                      [--mode engine|sequential] [--out PLAN.csv]
+//       Decompose a whole batch of crowdsourcing tasks (CSV rows
+//       `task,threshold`) with the sharded parallel engine, or the
+//       sequential per-task reference loop for comparison.
 
 #include <cstdio>
 #include <cstring>
@@ -24,6 +30,8 @@
 
 #include "binmodel/profile_model.h"
 #include "common/stopwatch.h"
+#include "engine/decomposition_engine.h"
+#include "io/csv_reader.h"
 #include "io/model_io.h"
 #include "solver/fixed_cardinality_solver.h"
 #include "solver/opq_builder.h"
@@ -50,7 +58,9 @@ int Usage() {
       "fixed] [--out FILE] [--seed S]\n"
       "  slade_cli opq      --profile FILE --threshold T\n"
       "  slade_cli validate --profile FILE --plan FILE (--thresholds FILE"
-      " | --homogeneous N,T)\n";
+      " | --homogeneous N,T)\n"
+      "  slade_cli batch    --profile FILE --workload FILE [--threads K]\n"
+      "                     [--mode engine|sequential] [--out FILE]\n";
   return 2;
 }
 
@@ -200,6 +210,57 @@ int CmdValidate(const std::map<std::string, std::string>& flags) {
   return report->feasible ? 0 : 3;
 }
 
+int CmdBatch(const std::map<std::string, std::string>& flags) {
+  auto profile_flag = flags.find("profile");
+  auto workload_flag = flags.find("workload");
+  if (profile_flag == flags.end() || workload_flag == flags.end()) {
+    return Usage();
+  }
+  auto profile = LoadBinProfileCsv(profile_flag->second);
+  if (!profile.ok()) return Fail(profile.status().ToString());
+  auto tasks = LoadBatchWorkloadCsv(workload_flag->second);
+  if (!tasks.ok()) return Fail(tasks.status().ToString());
+
+  const std::string mode =
+      flags.count("mode") ? flags.at("mode") : "engine";
+  Result<BatchReport> report = Status::Internal("unreachable");
+  if (mode == "engine") {
+    EngineOptions options;
+    if (auto threads = flags.find("threads"); threads != flags.end()) {
+      auto parsed = ParseUint(threads->second);
+      if (!parsed.ok() || *parsed > 1024) {
+        return Fail("--threads expects an integer in [0, 1024], got " +
+                    threads->second);
+      }
+      options.num_threads = static_cast<uint32_t>(*parsed);
+    }
+    DecompositionEngine engine(options);
+    std::printf("engine: %zu threads\n", engine.num_threads());
+    report = engine.SolveBatch(*tasks, *profile);
+  } else if (mode == "sequential") {
+    report = SolveBatchSequential(*tasks, *profile);
+  } else {
+    return Fail("unknown mode: " + mode + " (want engine|sequential)");
+  }
+  if (!report.ok()) return Fail(report.status().ToString());
+  std::printf("%s", report->ToString().c_str());
+
+  auto merged_task = ConcatenateTasks(*tasks);
+  if (!merged_task.ok()) return Fail(merged_task.status().ToString());
+  auto validation = ValidatePlan(report->plan, *merged_task, *profile);
+  if (!validation.ok()) return Fail(validation.status().ToString());
+  std::printf("feasible: %s (worst log margin %.6f)\n",
+              validation->feasible ? "yes" : "NO",
+              validation->worst_log_margin);
+  if (auto out = flags.find("out"); out != flags.end()) {
+    Status st = SavePlanCsv(report->plan, out->second);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("merged plan written to %s (global atomic-task ids)\n",
+                out->second.c_str());
+  }
+  return validation->feasible ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -211,5 +272,6 @@ int main(int argc, char** argv) {
   if (command == "solve") return CmdSolve(*flags);
   if (command == "opq") return CmdOpq(*flags);
   if (command == "validate") return CmdValidate(*flags);
+  if (command == "batch") return CmdBatch(*flags);
   return Usage();
 }
