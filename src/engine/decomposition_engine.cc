@@ -31,7 +31,102 @@ std::vector<size_t> ComputeOffsets(
   return offsets;
 }
 
+/// One unit of parallel work: a set of atomic tasks (global ids, ascending)
+/// solved under one surrogate threshold. Shards are formed deterministically
+/// and merged in vector order, so the merged plan never depends on thread
+/// count.
+struct ShardSpec {
+  size_t input_task = ShardStats::kWholeBatch;
+  size_t group = 0;
+  double theta_upper = 0.0;
+  std::vector<TaskId> ids;
+};
+
+/// kPooled sharding: one shard per non-empty Algorithm 4 threshold group of
+/// the batch-wide range; atomic tasks of every input task pool together.
+Result<std::vector<ShardSpec>> PooledShards(
+    const std::vector<CrowdsourcingTask>& tasks,
+    const std::vector<size_t>& offsets) {
+  double t_min = tasks.front().min_threshold();
+  double t_max = tasks.front().max_threshold();
+  for (const CrowdsourcingTask& t : tasks) {
+    t_min = std::min(t_min, t.min_threshold());
+    t_max = std::max(t_max, t.max_threshold());
+  }
+  SLADE_ASSIGN_OR_RETURN(
+      std::vector<double> uppers,
+      ComputeThetaPartition(LogReduction(t_min), LogReduction(t_max)));
+
+  // Route every atomic task (by global id) to the lowest interval whose
+  // upper bound covers its log threshold -- Algorithm 5 lines 5-7, applied
+  // batch-wide. Iterating tasks in order keeps shard id lists sorted.
+  std::vector<std::vector<TaskId>> shard_ids(uppers.size());
+  for (size_t k = 0; k < tasks.size(); ++k) {
+    const CrowdsourcingTask& task = tasks[k];
+    for (size_t i = 0; i < task.size(); ++i) {
+      SLADE_ASSIGN_OR_RETURN(
+          size_t g, GroupIndexOf(uppers, task.theta(static_cast<TaskId>(i))));
+      shard_ids[g].push_back(static_cast<TaskId>(offsets[k] + i));
+    }
+  }
+
+  std::vector<ShardSpec> shards;
+  for (size_t g = 0; g < shard_ids.size(); ++g) {
+    if (shard_ids[g].empty()) continue;
+    ShardSpec shard;
+    shard.group = g;
+    shard.theta_upper = uppers[g];
+    shard.ids = std::move(shard_ids[g]);
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+/// kIsolated sharding: one shard per (input task, non-empty group of that
+/// task's own Algorithm 4 partition), exactly the sub-problems OPQ-Extended
+/// solves for each input task alone. Queues still come from the shared
+/// cache, and interval bounds are powers of two, so input tasks with
+/// overlapping ranges reuse each other's builds.
+Result<std::vector<ShardSpec>> IsolatedShards(
+    const std::vector<CrowdsourcingTask>& tasks,
+    const std::vector<size_t>& offsets) {
+  std::vector<ShardSpec> shards;
+  for (size_t k = 0; k < tasks.size(); ++k) {
+    const CrowdsourcingTask& task = tasks[k];
+    SLADE_ASSIGN_OR_RETURN(
+        std::vector<double> uppers,
+        ComputeThetaPartition(LogReduction(task.min_threshold()),
+                              LogReduction(task.max_threshold())));
+    std::vector<std::vector<TaskId>> group_ids(uppers.size());
+    for (size_t i = 0; i < task.size(); ++i) {
+      SLADE_ASSIGN_OR_RETURN(
+          size_t g, GroupIndexOf(uppers, task.theta(static_cast<TaskId>(i))));
+      group_ids[g].push_back(static_cast<TaskId>(offsets[k] + i));
+    }
+    for (size_t g = 0; g < group_ids.size(); ++g) {
+      if (group_ids[g].empty()) continue;
+      ShardSpec shard;
+      shard.input_task = k;
+      shard.group = g;
+      shard.theta_upper = uppers[g];
+      shard.ids = std::move(group_ids[g]);
+      shards.push_back(std::move(shard));
+    }
+  }
+  return shards;
+}
+
 }  // namespace
+
+const char* BatchSharingName(BatchSharing sharing) {
+  switch (sharing) {
+    case BatchSharing::kPooled:
+      return "pooled";
+    case BatchSharing::kIsolated:
+      return "isolated";
+  }
+  return "unknown";
+}
 
 std::string BatchReport::ToString() const {
   char buf[256];
@@ -45,10 +140,15 @@ std::string BatchReport::ToString() const {
                 static_cast<unsigned long long>(opq_cache_misses));
   std::string out = buf;
   for (const ShardStats& s : shards) {
+    std::string owner;
+    if (s.input_task != ShardStats::kWholeBatch) {
+      owner = "task " + std::to_string(s.input_task) + ", ";
+    }
     std::snprintf(buf, sizeof(buf),
-                  "  shard %zu: t<=%.6f, %zu tasks, cost %.4f, %llu bins, "
+                  "  shard %zu: %st<=%.6f, %zu tasks, cost %.4f, %llu bins, "
                   "%.4f s%s\n",
-                  s.group, s.surrogate_threshold, s.num_atomic_tasks, s.cost,
+                  s.group, owner.c_str(), s.surrogate_threshold,
+                  s.num_atomic_tasks, s.cost,
                   static_cast<unsigned long long>(s.bins_posted), s.seconds,
                   s.opq_cache_hit ? " (cache hit)" : "");
     out += buf;
@@ -84,67 +184,41 @@ Result<BatchReport> DecompositionEngine::SolveBatch(
   }
   Stopwatch wall;
 
-  // Global threshold range across the batch.
-  double t_min = tasks.front().min_threshold();
-  double t_max = tasks.front().max_threshold();
-  for (const CrowdsourcingTask& t : tasks) {
-    t_min = std::min(t_min, t.min_threshold());
-    t_max = std::max(t_max, t.max_threshold());
-  }
-
-  // Algorithm 4 partition of the batch's log-threshold range; each interval
-  // is one (potential) shard.
-  SLADE_ASSIGN_OR_RETURN(
-      std::vector<double> uppers,
-      ComputeThetaPartition(LogReduction(t_min), LogReduction(t_max)));
-
-  // Route every atomic task (by global id) to the lowest interval whose
-  // upper bound covers its log threshold -- Algorithm 5 lines 5-7, applied
-  // batch-wide. Iterating tasks in order keeps shard id lists sorted, which
-  // makes the merged plan independent of thread count.
   std::vector<size_t> offsets = ComputeOffsets(tasks);
-  std::vector<std::vector<TaskId>> shard_ids(uppers.size());
-  for (size_t k = 0; k < tasks.size(); ++k) {
-    const CrowdsourcingTask& task = tasks[k];
-    for (size_t i = 0; i < task.size(); ++i) {
-      SLADE_ASSIGN_OR_RETURN(
-          size_t g, GroupIndexOf(uppers, task.theta(static_cast<TaskId>(i))));
-      shard_ids[g].push_back(static_cast<TaskId>(offsets[k] + i));
-    }
-  }
-
-  std::vector<size_t> groups;  // non-empty shards, ascending group index
-  for (size_t g = 0; g < shard_ids.size(); ++g) {
-    if (!shard_ids[g].empty()) groups.push_back(g);
-  }
+  SLADE_ASSIGN_OR_RETURN(
+      std::vector<ShardSpec> shards,
+      options_.sharing == BatchSharing::kPooled
+          ? PooledShards(tasks, offsets)
+          : IsolatedShards(tasks, offsets));
 
   // Per-shard solves on the pool. Results land in pre-sized slots; no
   // locking is needed beyond the pool's Wait().
   OpqBuildOptions build_options;
   build_options.node_budget = options_.opq_node_budget;
-  std::vector<DecompositionPlan> shard_plans(groups.size());
-  std::vector<ShardStats> shard_stats(groups.size());
-  std::vector<Status> shard_status(groups.size());
-  ParallelFor(pool_.get(), groups.size(), [&](size_t s) {
+  std::vector<DecompositionPlan> shard_plans(shards.size());
+  std::vector<ShardStats> shard_stats(shards.size());
+  std::vector<Status> shard_status(shards.size());
+  ParallelFor(pool_.get(), shards.size(), [&](size_t s) {
     Stopwatch shard_watch;
-    const size_t g = groups[s];
-    const double surrogate = InverseLogReduction(uppers[g]);
+    const ShardSpec& shard = shards[s];
+    const double surrogate = InverseLogReduction(shard.theta_upper);
     auto lookup = cache_.GetOrBuild(profile, surrogate, build_options);
     if (!lookup.ok()) {
       shard_status[s] = lookup.status();
       return;
     }
-    Status st = RunOpqAssignment(*lookup->queue, shard_ids[g], profile,
+    Status st = RunOpqAssignment(*lookup->queue, shard.ids, profile,
                                  &shard_plans[s]);
     if (!st.ok()) {
       shard_status[s] = st;
       return;
     }
     ShardStats& stats = shard_stats[s];
-    stats.group = g;
-    stats.theta_upper = uppers[g];
+    stats.group = shard.group;
+    stats.input_task = shard.input_task;
+    stats.theta_upper = shard.theta_upper;
     stats.surrogate_threshold = surrogate;
-    stats.num_atomic_tasks = shard_ids[g].size();
+    stats.num_atomic_tasks = shard.ids.size();
     stats.cost = shard_plans[s].TotalCost(profile);
     stats.bins_posted = shard_plans[s].TotalBinInstances();
     stats.opq_cache_hit = lookup->hit;
@@ -154,10 +228,10 @@ Result<BatchReport> DecompositionEngine::SolveBatch(
     SLADE_RETURN_NOT_OK(st);
   }
 
-  // Merge in group order: deterministic regardless of execution order.
+  // Merge in shard order: deterministic regardless of execution order.
   BatchReport report;
   report.task_offsets = std::move(offsets);
-  for (size_t s = 0; s < groups.size(); ++s) {
+  for (size_t s = 0; s < shards.size(); ++s) {
     report.plan.Append(std::move(shard_plans[s]));
     report.total_cost += shard_stats[s].cost;
     report.total_bins += shard_stats[s].bins_posted;

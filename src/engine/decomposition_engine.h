@@ -34,6 +34,26 @@
 
 namespace slade {
 
+/// \brief How the batch's atomic tasks may share bins.
+enum class BatchSharing {
+  /// Pool the whole batch: shard = Algorithm 4 threshold group over the
+  /// batch-wide threshold range, so atomic tasks from different input tasks
+  /// (and different requesters) tile into the same bins. Cheapest: leftover
+  /// padding (Algorithm 3 lines 8-10) is paid once per group for the whole
+  /// batch.
+  kPooled,
+  /// Isolate input tasks: shard = (input task, group of the task's own
+  /// Algorithm 4 partition). No bin ever mixes atomic tasks from two input
+  /// tasks, and each input task's sub-plan is exactly what OPQ-Extended
+  /// (Algorithm 5) would produce for it alone -- the merged plan equals
+  /// SolveBatchSequential's placement for placement. Costs a little more
+  /// than kPooled (per-task padding) but keeps per-requester billing
+  /// exact, which is what the streaming front end needs.
+  kIsolated,
+};
+
+const char* BatchSharingName(BatchSharing sharing);
+
 /// \brief Tuning knobs for the batch engine.
 struct EngineOptions {
   /// Worker threads for per-shard solves; 0 = ThreadPool::DefaultThreads().
@@ -42,13 +62,20 @@ struct EngineOptions {
   uint32_t num_threads = 0;
   /// Passed through to BuildOpq on cache misses.
   uint64_t opq_node_budget = 50'000'000;
+  /// Bin-sharing policy across input tasks (see BatchSharing).
+  BatchSharing sharing = BatchSharing::kPooled;
 };
 
 /// \brief Per-shard solve statistics (one shard = one threshold group with
 /// at least one atomic task routed to it).
 struct ShardStats {
-  /// Index of the threshold group in the Algorithm 4 partition.
+  /// Index of the threshold group in the Algorithm 4 partition (batch-wide
+  /// under kPooled, the input task's own partition under kIsolated).
   size_t group = 0;
+  /// Input-task index the shard belongs to under kIsolated;
+  /// kWholeBatch under kPooled (groups span the whole batch there).
+  static constexpr size_t kWholeBatch = static_cast<size_t>(-1);
+  size_t input_task = kWholeBatch;
   /// Interval upper bound tau and the surrogate threshold 1 - e^{-tau}
   /// the shard's queue was built for.
   double theta_upper = 0.0;
@@ -106,8 +133,9 @@ class DecompositionEngine {
   DecompositionEngine& operator=(const DecompositionEngine&) = delete;
 
   /// Decomposes the whole batch under `profile`. Deterministic: the merged
-  /// plan depends only on (tasks, profile), never on thread count or
-  /// cache state. Fails on an empty batch or invalid thresholds.
+  /// plan depends only on (tasks, profile, options.sharing), never on
+  /// thread count or cache state. Fails on an empty batch or invalid
+  /// thresholds.
   Result<BatchReport> SolveBatch(const std::vector<CrowdsourcingTask>& tasks,
                                  const BinProfile& profile);
 

@@ -1,0 +1,129 @@
+#include "engine/plan_splitter.h"
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+namespace slade {
+
+namespace {
+
+/// Shared core: `owner_of_task[k]` is the slice index owning input task `k`
+/// (slice labels already fixed by the caller; empty slices are allowed).
+Result<std::vector<RequesterPlan>> SplitByOwner(
+    const BatchReport& report, const BinProfile& profile,
+    const std::vector<size_t>& owner_of_task,
+    std::vector<RequesterPlan> slices) {
+  const std::vector<size_t>& offsets = report.task_offsets;
+  const size_t num_tasks = report.num_tasks();
+  const size_t num_atomic = report.num_atomic_tasks();
+
+  // Requester-local ids follow the global order restricted to each slice:
+  // sweep the input tasks once, numbering each slice's atomic tasks 0..n-1
+  // and recording the slice-local input-task offsets as we go.
+  std::vector<uint32_t> owner_of_atomic(num_atomic, 0);
+  std::vector<TaskId> local_of_global(num_atomic, 0);
+  for (RequesterPlan& slice : slices) slice.task_offsets.assign(1, 0);
+  for (size_t k = 0; k < num_tasks; ++k) {
+    const size_t o = owner_of_task[k];
+    RequesterPlan& slice = slices[o];
+    TaskId next = static_cast<TaskId>(slice.task_offsets.back());
+    for (size_t id = offsets[k]; id < offsets[k + 1]; ++id) {
+      owner_of_atomic[id] = static_cast<uint32_t>(o);
+      local_of_global[id] = next++;
+    }
+    slice.task_offsets.push_back(next);
+  }
+
+  // Cut each placement: a bin's tasks are bucketed by owner, and every
+  // owner receives the placement with the full (cardinality, copies) --
+  // the bins are posted either way, so each atomic task keeps its exact
+  // reliability contribution.
+  std::vector<std::vector<TaskId>> buckets(slices.size());
+  std::vector<size_t> touched;
+  for (const BinPlacement& p : report.plan.placements()) {
+    touched.clear();
+    for (TaskId id : p.tasks) {
+      if (id >= num_atomic) {
+        return Status::InvalidArgument(
+            "PlanSplitter: merged plan references atomic task " +
+            std::to_string(id) + " outside the batch (" +
+            std::to_string(num_atomic) + " atomic tasks)");
+      }
+      std::vector<TaskId>& bucket = buckets[owner_of_atomic[id]];
+      if (bucket.empty()) touched.push_back(owner_of_atomic[id]);
+      bucket.push_back(local_of_global[id]);
+    }
+    for (size_t o : touched) {
+      slices[o].plan.Add(p.cardinality, p.copies, std::move(buckets[o]));
+      buckets[o] = {};
+    }
+  }
+
+  for (RequesterPlan& slice : slices) {
+    slice.cost = slice.plan.TotalCost(profile);
+    slice.bins_posted = slice.plan.TotalBinInstances();
+  }
+  return slices;
+}
+
+}  // namespace
+
+Result<std::vector<RequesterPlan>> PlanSplitter::SplitBySpans(
+    const BatchReport& report, const BinProfile& profile,
+    const std::vector<RequesterSpan>& spans) {
+  const size_t num_tasks = report.num_tasks();
+  std::vector<size_t> owner_of_task(num_tasks, 0);
+  std::vector<RequesterPlan> slices(spans.size());
+  size_t next_task = 0;
+  for (size_t s = 0; s < spans.size(); ++s) {
+    const RequesterSpan& span = spans[s];
+    if (span.first_task != next_task ||
+        span.num_tasks > num_tasks - next_task) {
+      return Status::InvalidArgument(
+          "PlanSplitter: span " + std::to_string(s) + " covers tasks [" +
+          std::to_string(span.first_task) + ", " +
+          std::to_string(span.first_task + span.num_tasks) +
+          ") but the batch expects the next span at task " +
+          std::to_string(next_task) + " of " + std::to_string(num_tasks));
+    }
+    for (size_t k = 0; k < span.num_tasks; ++k) {
+      owner_of_task[next_task + k] = s;
+    }
+    next_task += span.num_tasks;
+    slices[s].requester_id = span.requester_id;
+  }
+  if (next_task != num_tasks) {
+    return Status::InvalidArgument(
+        "PlanSplitter: spans cover " + std::to_string(next_task) + " of " +
+        std::to_string(num_tasks) + " input tasks");
+  }
+  return SplitByOwner(report, profile, owner_of_task, std::move(slices));
+}
+
+Result<std::vector<RequesterPlan>> PlanSplitter::SplitByRequester(
+    const BatchReport& report, const BinProfile& profile,
+    const std::vector<std::string>& requester_of_task) {
+  const size_t num_tasks = report.num_tasks();
+  if (requester_of_task.size() != num_tasks) {
+    return Status::InvalidArgument(
+        "PlanSplitter: " + std::to_string(requester_of_task.size()) +
+        " requester labels for " + std::to_string(num_tasks) +
+        " input tasks");
+  }
+  std::vector<size_t> owner_of_task(num_tasks, 0);
+  std::vector<RequesterPlan> slices;
+  std::map<std::string, size_t> slice_of_requester;
+  for (size_t k = 0; k < num_tasks; ++k) {
+    auto [it, inserted] =
+        slice_of_requester.emplace(requester_of_task[k], slices.size());
+    if (inserted) {
+      slices.emplace_back();
+      slices.back().requester_id = requester_of_task[k];
+    }
+    owner_of_task[k] = it->second;
+  }
+  return SplitByOwner(report, profile, owner_of_task, std::move(slices));
+}
+
+}  // namespace slade

@@ -1,0 +1,211 @@
+#include "engine/streaming_engine.h"
+
+#include <utility>
+
+namespace slade {
+
+namespace {
+
+EngineOptions ToEngineOptions(const StreamingOptions& options) {
+  EngineOptions engine_options;
+  engine_options.num_threads = options.num_threads;
+  engine_options.opq_node_budget = options.opq_node_budget;
+  engine_options.sharing = options.sharing;
+  return engine_options;
+}
+
+/// Floors both flush caps at 1: a cap of 0 would make SizeTriggeredLocked
+/// true on an empty pending queue and spin the worker forever, and "flush
+/// at 0 pending" can only mean "flush each submission immediately" anyway.
+StreamingOptions Sanitized(StreamingOptions options) {
+  if (options.max_pending_atomic_tasks == 0) {
+    options.max_pending_atomic_tasks = 1;
+  }
+  if (options.max_pending_submissions == 0) {
+    options.max_pending_submissions = 1;
+  }
+  return options;
+}
+
+}  // namespace
+
+StreamingEngine::StreamingEngine(BinProfile profile, StreamingOptions options)
+    : options_(Sanitized(options)),
+      profile_(std::move(profile)),
+      engine_(ToEngineOptions(options)),
+      worker_(&StreamingEngine::WorkerLoop, this) {}
+
+StreamingEngine::~StreamingEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  worker_.join();
+}
+
+std::future<Result<RequesterPlan>> StreamingEngine::Submit(
+    std::string requester_id, std::vector<CrowdsourcingTask> tasks) {
+  std::promise<Result<RequesterPlan>> promise;
+  std::future<Result<RequesterPlan>> future = promise.get_future();
+  if (tasks.empty()) {
+    promise.set_value(Status::InvalidArgument(
+        "StreamingEngine::Submit: empty submission from requester '" +
+        requester_id + "'"));
+    return future;
+  }
+
+  Pending pending;
+  pending.requester = std::move(requester_id);
+  for (const CrowdsourcingTask& t : tasks) pending.num_atomic += t.size();
+  pending.tasks = std::move(tasks);
+  pending.admitted = std::chrono::steady_clock::now();
+  pending.promise = std::move(promise);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.submissions += 1;
+    stats_.tasks += pending.tasks.size();
+    stats_.atomic_tasks += pending.num_atomic;
+    pending_atomic_ += pending.num_atomic;
+    pending_.push_back(std::move(pending));
+  }
+  wake_.notify_one();
+  return future;
+}
+
+void StreamingEngine::Flush() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_.empty()) return;
+    flush_requested_ = true;
+  }
+  wake_.notify_one();
+}
+
+void StreamingEngine::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!pending_.empty()) {
+    flush_requested_ = true;
+    wake_.notify_one();
+  }
+  drained_.wait(lock, [&] { return pending_.empty() && in_flight_ == 0; });
+}
+
+StreamingStats StreamingEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+bool StreamingEngine::SizeTriggeredLocked() const {
+  return pending_.size() >= options_.max_pending_submissions ||
+         pending_atomic_ >= options_.max_pending_atomic_tasks;
+}
+
+void StreamingEngine::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    bool deadline_hit = false;
+    while (!shutdown_ && !flush_requested_ && !SizeTriggeredLocked()) {
+      if (pending_.empty()) {
+        wake_.wait(lock);
+      } else {
+        const auto deadline =
+            pending_.front().admitted +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(options_.max_delay_seconds));
+        if (wake_.wait_until(lock, deadline) == std::cv_status::timeout) {
+          deadline_hit = true;
+          break;
+        }
+      }
+    }
+    if (pending_.empty()) {
+      flush_requested_ = false;
+      if (shutdown_) return;
+      continue;
+    }
+
+    FlushReason reason = FlushReason::kDrain;
+    if (SizeTriggeredLocked()) {
+      reason = FlushReason::kSize;
+    } else if (deadline_hit && !flush_requested_ && !shutdown_) {
+      reason = FlushReason::kDeadline;
+    }
+    flush_requested_ = false;
+    std::vector<Pending> batch = std::move(pending_);
+    pending_.clear();
+    pending_atomic_ = 0;
+    const size_t batch_size = batch.size();
+    in_flight_ += batch_size;
+
+    lock.unlock();
+    ProcessBatch(std::move(batch), reason);
+    lock.lock();
+
+    in_flight_ -= batch_size;
+    if (pending_.empty() && in_flight_ == 0) drained_.notify_all();
+  }
+}
+
+void StreamingEngine::ProcessBatch(std::vector<Pending> batch,
+                                   FlushReason reason) {
+  // Concatenate the micro-batch in admission order; each submission is one
+  // contiguous requester span, so the merged plan splits right back.
+  std::vector<CrowdsourcingTask> tasks;
+  std::vector<RequesterSpan> spans;
+  spans.reserve(batch.size());
+  for (Pending& p : batch) {
+    RequesterSpan span;
+    span.requester_id = p.requester;
+    span.first_task = tasks.size();
+    span.num_tasks = p.tasks.size();
+    spans.push_back(std::move(span));
+    for (CrowdsourcingTask& t : p.tasks) tasks.push_back(std::move(t));
+  }
+
+  Result<BatchReport> report = engine_.SolveBatch(tasks, profile_);
+
+  uint64_t flush_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    flush_id = next_flush_id_++;
+    stats_.flushes += 1;
+    switch (reason) {
+      case FlushReason::kSize:
+        stats_.flushes_by_size += 1;
+        break;
+      case FlushReason::kDeadline:
+        stats_.flushes_by_deadline += 1;
+        break;
+      case FlushReason::kDrain:
+        stats_.flushes_by_drain += 1;
+        break;
+    }
+    if (report.ok()) {
+      stats_.solve_seconds += report->wall_seconds;
+      stats_.total_cost += report->total_cost;
+    }
+  }
+
+  Result<std::vector<RequesterPlan>> slices =
+      report.ok() ? PlanSplitter::SplitBySpans(*report, profile_, spans)
+                  : Result<std::vector<RequesterPlan>>(report.status());
+  if (!slices.ok()) {
+    // A failed micro-batch fails every submission in it, with the same
+    // status a direct SolveBatch call would have returned.
+    for (Pending& p : batch) p.promise.set_value(slices.status());
+    return;
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    RequesterPlan slice = std::move((*slices)[i]);
+    slice.flush_id = flush_id;
+    slice.latency_seconds =
+        std::chrono::duration<double>(now - batch[i].admitted).count();
+    batch[i].promise.set_value(std::move(slice));
+  }
+}
+
+}  // namespace slade

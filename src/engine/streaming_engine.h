@@ -1,0 +1,153 @@
+// Copyright (c) the SLADE reproduction authors.
+// Streaming admission on top of the batch decomposition engine.
+//
+// The batch engine answers one workload at a time; a long-lived platform
+// receives submissions continuously, from many requesters at once. The
+// streaming engine sits in front of it: Submit() enqueues a requester's
+// crowdsourcing tasks and returns a future immediately; an admission worker
+// accumulates submissions into micro-batches, flushes a micro-batch when it
+// grows big enough or its oldest submission has waited long enough, solves
+// it with one DecompositionEngine::SolveBatch call (the OPQ cache stays
+// warm across every flush of the engine's lifetime), and cuts the merged
+// plan back into per-requester slices with PlanSplitter -- each future
+// resolves to the slice covering exactly its submission's tasks.
+//
+// With StreamingOptions::sharing == BatchSharing::kIsolated (the default)
+// a submission's plan is byte-for-byte what the paper's OPQ-Extended
+// solver would produce for it alone: micro-batching changes latency and
+// throughput, never the answer. kPooled lets concurrent submissions tile
+// into shared bins for a cheaper global plan, at the price of slices that
+// overlap in bins (see plan_splitter.h on cost attribution).
+
+#ifndef SLADE_ENGINE_STREAMING_ENGINE_H_
+#define SLADE_ENGINE_STREAMING_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "binmodel/task.h"
+#include "binmodel/task_bin.h"
+#include "common/result.h"
+#include "engine/decomposition_engine.h"
+#include "engine/plan_splitter.h"
+
+namespace slade {
+
+/// \brief Micro-batch admission policy. Both size caps are floored at 1 by
+/// the engine (0 would mean "flush before anything is pending").
+struct StreamingOptions {
+  /// Flush when the pending micro-batch holds at least this many atomic
+  /// tasks...
+  size_t max_pending_atomic_tasks = 4096;
+  /// ...or at least this many submissions...
+  size_t max_pending_submissions = 256;
+  /// ...or when the oldest pending submission has waited this long.
+  double max_delay_seconds = 0.05;
+  /// Bin-sharing policy of the underlying batch solves. kIsolated keeps
+  /// every submission's plan identical to a standalone OPQ-Extended solve;
+  /// kPooled shares bins across the micro-batch for a cheaper total.
+  BatchSharing sharing = BatchSharing::kIsolated;
+  /// Worker threads of the wrapped DecompositionEngine (0 = default).
+  uint32_t num_threads = 0;
+  /// Passed through to OPQ builds on cache misses.
+  uint64_t opq_node_budget = 50'000'000;
+};
+
+/// \brief Admission counters, readable at any time via stats().
+struct StreamingStats {
+  uint64_t submissions = 0;
+  uint64_t tasks = 0;
+  uint64_t atomic_tasks = 0;
+  uint64_t flushes = 0;
+  uint64_t flushes_by_size = 0;      ///< atomic-task or submission cap hit
+  uint64_t flushes_by_deadline = 0;  ///< oldest submission timed out
+  uint64_t flushes_by_drain = 0;     ///< Flush()/Drain()/shutdown
+  /// Cumulative SolveBatch wall time and solved cost across all flushes.
+  double solve_seconds = 0.0;
+  double total_cost = 0.0;
+};
+
+/// \brief Long-lived streaming front end over DecompositionEngine.
+///
+/// Thread-safe: any number of threads may call Submit/Flush/Drain
+/// concurrently. Micro-batches are solved one at a time, in admission
+/// order, on a dedicated worker thread; the solve itself parallelizes
+/// across shards on the wrapped engine's pool. The destructor drains:
+/// every future obtained from Submit() is fulfilled before the engine
+/// goes away.
+class StreamingEngine {
+ public:
+  /// The platform's bin profile is fixed for the engine's lifetime: every
+  /// submission is decomposed against `profile`, and the OPQ cache warms
+  /// up across all of them.
+  explicit StreamingEngine(BinProfile profile, StreamingOptions options = {});
+  ~StreamingEngine();
+
+  StreamingEngine(const StreamingEngine&) = delete;
+  StreamingEngine& operator=(const StreamingEngine&) = delete;
+
+  /// Admits one submission (one requester, one or more crowdsourcing
+  /// tasks) and returns immediately. The future resolves, after the
+  /// owning micro-batch is solved, to the requester's slice of the merged
+  /// plan -- local ids ordered task by task as given here, with flush_id
+  /// and latency_seconds filled in. An empty `tasks` fails the future
+  /// with InvalidArgument without touching the pending batch.
+  std::future<Result<RequesterPlan>> Submit(
+      std::string requester_id, std::vector<CrowdsourcingTask> tasks);
+
+  /// Asks the worker to flush whatever is pending, without waiting for
+  /// the solve. No-op when nothing is pending.
+  void Flush();
+
+  /// Flushes and blocks until every submission admitted before this call
+  /// has its future fulfilled.
+  void Drain();
+
+  StreamingStats stats() const;
+  const OpqCache& cache() const { return engine_.cache(); }
+  const StreamingOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    std::string requester;
+    std::vector<CrowdsourcingTask> tasks;
+    size_t num_atomic = 0;
+    std::chrono::steady_clock::time_point admitted;
+    std::promise<Result<RequesterPlan>> promise;
+  };
+
+  enum class FlushReason { kSize, kDeadline, kDrain };
+
+  void WorkerLoop();
+  /// True when the pending batch must flush now on size alone (the
+  /// deadline path is handled by the worker's timed wait).
+  bool SizeTriggeredLocked() const;
+  void ProcessBatch(std::vector<Pending> batch, FlushReason reason);
+
+  const StreamingOptions options_;
+  const BinProfile profile_;
+  DecompositionEngine engine_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;     ///< worker: pending work or shutdown
+  std::condition_variable drained_;  ///< Drain(): everything fulfilled
+  std::vector<Pending> pending_;
+  size_t pending_atomic_ = 0;
+  bool flush_requested_ = false;
+  bool shutdown_ = false;
+  size_t in_flight_ = 0;  ///< submissions handed to ProcessBatch
+  uint64_t next_flush_id_ = 0;
+  StreamingStats stats_;
+
+  std::thread worker_;  ///< last member: joins before the rest dies
+};
+
+}  // namespace slade
+
+#endif  // SLADE_ENGINE_STREAMING_ENGINE_H_

@@ -163,6 +163,119 @@ Status SaveBatchWorkloadCsv(const std::vector<CrowdsourcingTask>& tasks,
   return writer.Close();
 }
 
+Result<std::vector<TimedSubmission>> LoadTimedWorkloadCsv(
+    const std::string& path) {
+  SLADE_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
+  SLADE_RETURN_NOT_OK(CheckHeader(
+      rows, {"arrival_ms", "requester", "task", "threshold"}, path));
+
+  std::vector<TimedSubmission> submissions;
+  // State of the submission being accumulated.
+  std::vector<std::vector<double>> tasks;  // per-task thresholds
+  double arrival_ms = 0.0;
+  std::string requester;
+  bool open = false;
+
+  auto flush = [&]() -> Status {
+    if (!open) return Status::OK();
+    TimedSubmission submission;
+    submission.arrival_ms = arrival_ms;
+    submission.requester = requester;
+    for (std::vector<double>& thresholds : tasks) {
+      auto task = CrowdsourcingTask::FromThresholds(std::move(thresholds));
+      if (!task.ok()) return task.status();
+      submission.tasks.push_back(std::move(task).ValueOrDie());
+    }
+    submissions.push_back(std::move(submission));
+    tasks.clear();
+    open = false;
+    return Status::OK();
+  };
+
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != 4) {
+      return Status::InvalidArgument(path + ": row " + std::to_string(r) +
+                                     " needs 4 cells");
+    }
+    SLADE_ASSIGN_OR_RETURN(double ms, ParseDouble(rows[r][0]));
+    const std::string& who = rows[r][1];
+    SLADE_ASSIGN_OR_RETURN(uint64_t index, ParseUint(rows[r][2]));
+    SLADE_ASSIGN_OR_RETURN(double threshold, ParseDouble(rows[r][3]));
+
+    if (open && (ms != arrival_ms || who != requester)) {
+      if (ms < arrival_ms) {
+        return Status::InvalidArgument(
+            path + ": row " + std::to_string(r) + ": arrival_ms " +
+            std::to_string(ms) + " decreases (previous " +
+            std::to_string(arrival_ms) + ")");
+      }
+      SLADE_RETURN_NOT_OK(flush());
+    }
+    if (!open) {
+      arrival_ms = ms;
+      requester = who;
+      open = true;
+    }
+    // The batch-workload indexing rule, per submission: indices start at 0
+    // and increase by at most 1, so consecutive rows are unambiguous.
+    if (index > tasks.size()) {
+      return Status::InvalidArgument(
+          path + ": row " + std::to_string(r) + ": task index " +
+          std::to_string(index) + " skips ahead (submission has " +
+          std::to_string(tasks.size()) + " tasks so far)");
+    }
+    if (tasks.size() > 0 && index + 1 < tasks.size()) {
+      return Status::InvalidArgument(
+          path + ": row " + std::to_string(r) + ": task index " +
+          std::to_string(index) +
+          " goes backwards within a submission (use a new arrival_ms or "
+          "requester for a new submission)");
+    }
+    if (index == tasks.size()) tasks.emplace_back();
+    tasks.back().push_back(threshold);
+  }
+  SLADE_RETURN_NOT_OK(flush());
+  if (submissions.empty()) {
+    return Status::InvalidArgument(path + ": empty timed workload");
+  }
+  return submissions;
+}
+
+Status SaveTimedWorkloadCsv(const std::vector<TimedSubmission>& submissions,
+                            const std::string& path) {
+  CsvWriter writer;
+  SLADE_RETURN_NOT_OK(
+      writer.Open(path, {"arrival_ms", "requester", "task", "threshold"}));
+  char buf[64];
+  for (size_t s = 0; s < submissions.size(); ++s) {
+    const TimedSubmission& submission = submissions[s];
+    // The format keys submission boundaries on (arrival_ms, requester)
+    // changing between consecutive rows, so adjacent submissions sharing
+    // both would merge (or fail to parse) on reload. Refuse rather than
+    // corrupt the round trip.
+    if (s > 0 && submissions[s - 1].arrival_ms == submission.arrival_ms &&
+        submissions[s - 1].requester == submission.requester) {
+      return Status::InvalidArgument(
+          path + ": submissions " + std::to_string(s - 1) + " and " +
+          std::to_string(s) + " share arrival_ms and requester '" +
+          submission.requester +
+          "'; the CSV format cannot separate them -- nudge one arrival_ms");
+    }
+    char ms[64];
+    std::snprintf(ms, sizeof(ms), "%.10g", submission.arrival_ms);
+    for (size_t k = 0; k < submission.tasks.size(); ++k) {
+      const CrowdsourcingTask& task = submission.tasks[k];
+      for (size_t i = 0; i < task.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "%.10g",
+                      task.threshold(static_cast<TaskId>(i)));
+        SLADE_RETURN_NOT_OK(writer.WriteRow(std::vector<std::string>{
+            ms, submission.requester, std::to_string(k), buf}));
+      }
+    }
+  }
+  return writer.Close();
+}
+
 Status SavePlanCsv(const DecompositionPlan& plan, const std::string& path) {
   CsvWriter writer;
   SLADE_RETURN_NOT_OK(writer.Open(path, {"cardinality", "copies", "tasks"}));

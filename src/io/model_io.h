@@ -43,6 +43,37 @@ Result<std::vector<CrowdsourcingTask>> LoadBatchWorkloadCsv(
 Status SaveBatchWorkloadCsv(const std::vector<CrowdsourcingTask>& tasks,
                             const std::string& path);
 
+/// \brief One arrival in a timed (streaming) workload: a requester submits
+/// one or more crowdsourcing tasks at `arrival_ms` (milliseconds from the
+/// start of the replay).
+struct TimedSubmission {
+  double arrival_ms = 0.0;
+  std::string requester;
+  std::vector<CrowdsourcingTask> tasks;
+
+  size_t num_atomic_tasks() const {
+    size_t n = 0;
+    for (const CrowdsourcingTask& t : tasks) n += t.size();
+    return n;
+  }
+};
+
+/// \brief Loads a timed workload from CSV with header
+/// `arrival_ms,requester,task,threshold`: one row per atomic task.
+/// Consecutive rows with the same (arrival_ms, requester) form one
+/// submission; within a submission, `task` is a 0-based crowdsourcing-task
+/// index that starts at 0 and increases by at most 1 (the batch-workload
+/// rule). Arrival times must be non-decreasing.
+Result<std::vector<TimedSubmission>> LoadTimedWorkloadCsv(
+    const std::string& path);
+
+/// \brief Writes a timed workload in the same format. Fails if two
+/// consecutive submissions share both arrival_ms and requester: the format
+/// keys submission boundaries on that pair changing, so such neighbours
+/// would merge on reload.
+Status SaveTimedWorkloadCsv(const std::vector<TimedSubmission>& submissions,
+                            const std::string& path);
+
 /// \brief Writes a plan as CSV with header `cardinality,copies,tasks`
 /// where `tasks` is a semicolon-joined id list.
 Status SavePlanCsv(const DecompositionPlan& plan, const std::string& path);

@@ -134,6 +134,74 @@ TEST(DecompositionEngineTest, SequentialReferenceAgreesOnFeasibility) {
   EXPECT_LE(batched->total_cost, sequential->total_cost * 1.01);
 }
 
+TEST(DecompositionEngineTest, IsolatedModeMatchesSequentialReference) {
+  // kIsolated shards each input task by its own Algorithm 4 partition, so
+  // the merged plan must equal the sequential per-task reference loop
+  // placement for placement -- this is the identity the streaming engine's
+  // per-requester guarantee is built on.
+  BatchWorkload batch = SmallHeterogeneousBatch(20, 15);
+  auto sequential = SolveBatchSequential(batch.tasks, batch.profile);
+  ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+
+  EngineOptions options;
+  options.sharing = BatchSharing::kIsolated;
+  DecompositionEngine engine(options);
+  auto report = engine.SolveBatch(batch.tasks, batch.profile);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_EQ(PlanSignature(report->plan), PlanSignature(sequential->plan));
+  EXPECT_NEAR(report->total_cost, sequential->total_cost,
+              1e-9 * (1.0 + sequential->total_cost));
+  EXPECT_EQ(report->total_bins, sequential->total_bins);
+  EXPECT_EQ(report->task_offsets, sequential->task_offsets);
+
+  // Every shard is owned by exactly one input task, in ascending order.
+  size_t last_task = 0;
+  for (const ShardStats& shard : report->shards) {
+    ASSERT_NE(shard.input_task, ShardStats::kWholeBatch);
+    EXPECT_GE(shard.input_task, last_task);
+    EXPECT_LT(shard.input_task, batch.tasks.size());
+    last_task = shard.input_task;
+  }
+}
+
+TEST(DecompositionEngineTest, IsolatedModeDeterministicAcrossThreadCounts) {
+  BatchWorkload batch = SmallHeterogeneousBatch(12, 20);
+  std::string reference_sig;
+  for (uint32_t threads : {1u, 4u, 8u}) {
+    EngineOptions options;
+    options.num_threads = threads;
+    options.sharing = BatchSharing::kIsolated;
+    DecompositionEngine engine(options);
+    auto report = engine.SolveBatch(batch.tasks, batch.profile);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    if (threads == 1) {
+      reference_sig = PlanSignature(report->plan);
+      continue;
+    }
+    EXPECT_EQ(PlanSignature(report->plan), reference_sig)
+        << "plan differs at " << threads << " threads";
+  }
+}
+
+TEST(DecompositionEngineTest, IsolatedModeStillSharesTheOpqCache) {
+  // Input tasks with the same threshold land in the same Algorithm 4
+  // interval, so isolation changes bin sharing, not cache sharing: the
+  // second identical input task's shard must hit the cache.
+  auto profile = BinProfile::PaperExample();
+  auto task = CrowdsourcingTask::Homogeneous(50, 0.9);
+  ASSERT_TRUE(task.ok());
+
+  EngineOptions options;
+  options.sharing = BatchSharing::kIsolated;
+  DecompositionEngine engine(options);
+  auto report = engine.SolveBatch({*task, *task, *task}, profile);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->shards.size(), 3u);
+  EXPECT_EQ(report->opq_cache_misses, 1u);
+  EXPECT_EQ(report->opq_cache_hits, 2u);
+}
+
 TEST(ConcatenateTasksTest, PreservesOrderAndThresholds) {
   auto a = CrowdsourcingTask::FromThresholds({0.8, 0.9});
   auto b = CrowdsourcingTask::FromThresholds({0.7});

@@ -130,6 +130,120 @@ TEST_F(ModelIoTest, BatchWorkloadRoundTrip) {
   }
 }
 
+TEST_F(ModelIoTest, TimedWorkloadRoundTrip) {
+  std::vector<TimedSubmission> submissions(3);
+  submissions[0].arrival_ms = 0.0;
+  submissions[0].requester = "alice";
+  submissions[0].tasks.push_back(
+      CrowdsourcingTask::FromThresholds({0.8, 0.9}).ValueOrDie());
+  submissions[0].tasks.push_back(
+      CrowdsourcingTask::Homogeneous(3, 0.92).ValueOrDie());
+  submissions[1].arrival_ms = 2.5;
+  submissions[1].requester = "bob";
+  submissions[1].tasks.push_back(
+      CrowdsourcingTask::FromThresholds({0.7}).ValueOrDie());
+  // Same requester again later: a distinct submission (arrival_ms differs).
+  submissions[2].arrival_ms = 10.0;
+  submissions[2].requester = "alice";
+  submissions[2].tasks.push_back(
+      CrowdsourcingTask::FromThresholds({0.95, 0.6}).ValueOrDie());
+
+  ASSERT_TRUE(SaveTimedWorkloadCsv(submissions, path_).ok());
+  auto loaded = LoadTimedWorkloadCsv(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), submissions.size());
+  for (size_t s = 0; s < submissions.size(); ++s) {
+    SCOPED_TRACE("submission " + std::to_string(s));
+    EXPECT_NEAR((*loaded)[s].arrival_ms, submissions[s].arrival_ms, 1e-9);
+    EXPECT_EQ((*loaded)[s].requester, submissions[s].requester);
+    ASSERT_EQ((*loaded)[s].tasks.size(), submissions[s].tasks.size());
+    EXPECT_EQ((*loaded)[s].num_atomic_tasks(),
+              submissions[s].num_atomic_tasks());
+    for (size_t k = 0; k < submissions[s].tasks.size(); ++k) {
+      EXPECT_EQ((*loaded)[s].tasks[k].thresholds(),
+                submissions[s].tasks[k].thresholds());
+    }
+  }
+}
+
+TEST_F(ModelIoTest, TimedWorkloadSubmissionBoundaries) {
+  // Consecutive rows with the same (arrival_ms, requester) are one
+  // submission; a changed requester at the same time, or a later arrival,
+  // starts a new one.
+  {
+    std::ofstream out(path_);
+    out << "arrival_ms,requester,task,threshold\n"
+           "0,a,0,0.9\n0,a,0,0.8\n0,a,1,0.7\n"
+           "0,b,0,0.85\n"
+           "3,a,0,0.9\n";
+  }
+  auto loaded = LoadTimedWorkloadCsv(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ((*loaded)[0].requester, "a");
+  EXPECT_EQ((*loaded)[0].tasks.size(), 2u);
+  EXPECT_EQ((*loaded)[0].tasks[0].size(), 2u);
+  EXPECT_EQ((*loaded)[1].requester, "b");
+  EXPECT_EQ((*loaded)[1].tasks.size(), 1u);
+  EXPECT_EQ((*loaded)[2].requester, "a");
+  EXPECT_NEAR((*loaded)[2].arrival_ms, 3.0, 1e-12);
+}
+
+TEST_F(ModelIoTest, TimedWorkloadSaveRejectsAmbiguousNeighbours) {
+  // Two submissions sharing (arrival_ms, requester) would merge on reload;
+  // Save must refuse instead of silently corrupting the round trip.
+  std::vector<TimedSubmission> submissions(2);
+  submissions[0].arrival_ms = 1.0;
+  submissions[0].requester = "alice";
+  submissions[0].tasks.push_back(
+      CrowdsourcingTask::FromThresholds({0.9}).ValueOrDie());
+  submissions[1].arrival_ms = 1.0;
+  submissions[1].requester = "alice";
+  submissions[1].tasks.push_back(
+      CrowdsourcingTask::FromThresholds({0.8}).ValueOrDie());
+  Status st = SaveTimedWorkloadCsv(submissions, path_);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+
+  submissions[1].requester = "bob";  // same time, different requester: fine
+  EXPECT_TRUE(SaveTimedWorkloadCsv(submissions, path_).ok());
+  auto loaded = LoadTimedWorkloadCsv(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+}
+
+TEST_F(ModelIoTest, TimedWorkloadRejectsBadInput) {
+  {
+    std::ofstream out(path_);
+    out << "arrival_ms,requester,task,threshold\n"
+           "5,a,0,0.9\n1,b,0,0.9\n";  // arrivals must be non-decreasing
+  }
+  EXPECT_TRUE(LoadTimedWorkloadCsv(path_).status().IsInvalidArgument());
+  {
+    std::ofstream out(path_);
+    out << "arrival_ms,requester,task,threshold\n"
+           "0,a,1,0.9\n";  // task indices start at 0 within a submission
+  }
+  EXPECT_TRUE(LoadTimedWorkloadCsv(path_).status().IsInvalidArgument());
+  {
+    std::ofstream out(path_);
+    out << "arrival_ms,requester,task,threshold\n"
+           "0,a,0,0.9\n0,a,2,0.9\n";  // index gap
+  }
+  EXPECT_TRUE(LoadTimedWorkloadCsv(path_).status().IsInvalidArgument());
+  {
+    std::ofstream out(path_);
+    out << "arrival_ms,requester,task,threshold\n"
+           "0,a,0,0.9\n0,a,1,0.8\n0,a,0,0.9\n";  // backwards in submission
+  }
+  EXPECT_TRUE(LoadTimedWorkloadCsv(path_).status().IsInvalidArgument());
+  {
+    std::ofstream out(path_);
+    out << "arrival_ms,requester,task,threshold\n";  // empty
+  }
+  EXPECT_TRUE(LoadTimedWorkloadCsv(path_).status().IsInvalidArgument());
+  EXPECT_TRUE(LoadTimedWorkloadCsv("/no/such.csv").status().IsIOError());
+}
+
 TEST_F(ModelIoTest, BatchWorkloadRejectsBadIndexSequences) {
   {
     std::ofstream out(path_);

@@ -77,7 +77,9 @@ TEST(ParallelForTest, ResultsMatchSerialComputation) {
   std::vector<double> parallel_out(1000), serial_out(1000);
   auto compute = [](size_t i) {
     double acc = 0;
-    for (size_t k = 1; k <= i % 50 + 1; ++k) acc += 1.0 / static_cast<double>(k);
+    for (size_t k = 1; k <= i % 50 + 1; ++k) {
+      acc += 1.0 / static_cast<double>(k);
+    }
     return acc;
   };
   ParallelFor(&pool, parallel_out.size(),

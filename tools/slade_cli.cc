@@ -16,21 +16,37 @@
 //       Re-check a plan's feasibility and cost.
 //
 //   slade_cli batch    --profile F --workload W.csv [--threads K]
-//                      [--mode engine|sequential] [--out PLAN.csv]
+//                      [--mode engine|sequential] [--sharing pooled|isolated]
+//                      [--out PLAN.csv]
 //       Decompose a whole batch of crowdsourcing tasks (CSV rows
 //       `task,threshold`) with the sharded parallel engine, or the
 //       sequential per-task reference loop for comparison.
+//
+//   slade_cli stream   --profile F --workload TIMED.csv [--threads K]
+//                      [--max-pending-atomic N] [--max-pending-submissions N]
+//                      [--max-delay-ms D] [--sharing isolated|pooled]
+//                      [--speed X]
+//       Replay a timed workload (CSV rows `arrival_ms,requester,task,
+//       threshold`) through the streaming admission engine and print
+//       per-requester summaries. --speed X replays arrivals X times
+//       faster than recorded; 0 (the default) submits without waiting.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "binmodel/profile_model.h"
 #include "common/stopwatch.h"
+#include "common/table_printer.h"
 #include "engine/decomposition_engine.h"
+#include "engine/streaming_engine.h"
 #include "io/csv_reader.h"
 #include "io/model_io.h"
 #include "solver/fixed_cardinality_solver.h"
@@ -60,7 +76,14 @@ int Usage() {
       "  slade_cli validate --profile FILE --plan FILE (--thresholds FILE"
       " | --homogeneous N,T)\n"
       "  slade_cli batch    --profile FILE --workload FILE [--threads K]\n"
-      "                     [--mode engine|sequential] [--out FILE]\n";
+      "                     [--mode engine|sequential] "
+      "[--sharing pooled|isolated]\n"
+      "                     [--out FILE]\n"
+      "  slade_cli stream   --profile FILE --workload FILE [--threads K]\n"
+      "                     [--max-pending-atomic N] "
+      "[--max-pending-submissions N]\n"
+      "                     [--max-delay-ms D] [--sharing isolated|pooled]"
+      " [--speed X]\n";
   return 2;
 }
 
@@ -96,6 +119,38 @@ Result<CrowdsourcingTask> LoadTask(
         "--homogeneous expects N,T (e.g. 10000,0.9)");
   }
   return CrowdsourcingTask::Homogeneous(n, t);
+}
+
+/// Parses an optional `--sharing isolated|pooled` flag into `*sharing`;
+/// prints the error and returns false on an unknown value.
+bool ParseSharingFlag(const std::map<std::string, std::string>& flags,
+                      BatchSharing* sharing) {
+  auto it = flags.find("sharing");
+  if (it == flags.end()) return true;
+  if (it->second == "isolated") {
+    *sharing = BatchSharing::kIsolated;
+  } else if (it->second == "pooled") {
+    *sharing = BatchSharing::kPooled;
+  } else {
+    Fail("unknown sharing: " + it->second + " (want isolated|pooled)");
+    return false;
+  }
+  return true;
+}
+
+/// Parses an optional `--threads K` flag (K in [0, 1024]) into `*threads`;
+/// prints the error and returns false on a bad value.
+bool ParseThreadsFlag(const std::map<std::string, std::string>& flags,
+                      uint32_t* threads) {
+  auto it = flags.find("threads");
+  if (it == flags.end()) return true;
+  auto parsed = ParseUint(it->second);
+  if (!parsed.ok() || *parsed > 1024) {
+    Fail("--threads expects an integer in [0, 1024], got " + it->second);
+    return false;
+  }
+  *threads = static_cast<uint32_t>(*parsed);
+  return true;
 }
 
 Result<std::unique_ptr<Solver>> MakeNamedSolver(const std::string& name,
@@ -226,16 +281,11 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
   Result<BatchReport> report = Status::Internal("unreachable");
   if (mode == "engine") {
     EngineOptions options;
-    if (auto threads = flags.find("threads"); threads != flags.end()) {
-      auto parsed = ParseUint(threads->second);
-      if (!parsed.ok() || *parsed > 1024) {
-        return Fail("--threads expects an integer in [0, 1024], got " +
-                    threads->second);
-      }
-      options.num_threads = static_cast<uint32_t>(*parsed);
-    }
+    if (!ParseThreadsFlag(flags, &options.num_threads)) return 1;
+    if (!ParseSharingFlag(flags, &options.sharing)) return 1;
     DecompositionEngine engine(options);
-    std::printf("engine: %zu threads\n", engine.num_threads());
+    std::printf("engine: %zu threads, %s sharing\n", engine.num_threads(),
+                BatchSharingName(options.sharing));
     report = engine.SolveBatch(*tasks, *profile);
   } else if (mode == "sequential") {
     report = SolveBatchSequential(*tasks, *profile);
@@ -261,6 +311,138 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
   return validation->feasible ? 0 : 3;
 }
 
+int CmdStream(const std::map<std::string, std::string>& flags) {
+  auto profile_flag = flags.find("profile");
+  auto workload_flag = flags.find("workload");
+  if (profile_flag == flags.end() || workload_flag == flags.end()) {
+    return Usage();
+  }
+  auto profile = LoadBinProfileCsv(profile_flag->second);
+  if (!profile.ok()) return Fail(profile.status().ToString());
+  auto submissions = LoadTimedWorkloadCsv(workload_flag->second);
+  if (!submissions.ok()) return Fail(submissions.status().ToString());
+
+  StreamingOptions options;
+  auto parse_size = [&](const char* key, size_t* out) -> bool {
+    auto it = flags.find(key);
+    if (it == flags.end()) return true;
+    auto parsed = ParseUint(it->second);
+    if (!parsed.ok()) return false;
+    *out = static_cast<size_t>(*parsed);
+    return true;
+  };
+  if (!parse_size("max-pending-atomic", &options.max_pending_atomic_tasks) ||
+      !parse_size("max-pending-submissions",
+                  &options.max_pending_submissions)) {
+    return Fail("size flags expect non-negative integers");
+  }
+  if (auto it = flags.find("max-delay-ms"); it != flags.end()) {
+    auto parsed = ParseDouble(it->second);
+    if (!parsed.ok() || *parsed < 0.0) {
+      return Fail("--max-delay-ms expects a number >= 0, got " + it->second);
+    }
+    options.max_delay_seconds = *parsed / 1e3;
+  }
+  if (!ParseThreadsFlag(flags, &options.num_threads)) return 1;
+  if (!ParseSharingFlag(flags, &options.sharing)) return 1;
+  double speed = 0.0;
+  if (auto it = flags.find("speed"); it != flags.end()) {
+    auto parsed = ParseDouble(it->second);
+    if (!parsed.ok() || *parsed < 0.0) {
+      return Fail("--speed expects a number >= 0, got " + it->second);
+    }
+    speed = *parsed;
+  }
+
+  std::printf("streaming: sharing %s, flush at %zu atomic / %zu submissions"
+              " / %.1f ms\n",
+              BatchSharingName(options.sharing),
+              options.max_pending_atomic_tasks,
+              options.max_pending_submissions,
+              options.max_delay_seconds * 1e3);
+
+  // Replay arrivals and collect one future per submission.
+  Stopwatch wall;
+  StreamingEngine engine(*profile, options);
+  std::vector<std::future<Result<RequesterPlan>>> futures;
+  futures.reserve(submissions->size());
+  for (const TimedSubmission& submission : *submissions) {
+    if (speed > 0.0) {
+      const double due = submission.arrival_ms / 1e3 / speed;
+      const double now = wall.ElapsedSeconds();
+      if (due > now) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(due - now));
+      }
+    }
+    futures.push_back(engine.Submit(submission.requester, submission.tasks));
+  }
+  engine.Drain();
+  const double replay_seconds = wall.ElapsedSeconds();
+
+  // Per-requester aggregation of the delivered slices.
+  struct RequesterTotals {
+    uint64_t submissions = 0;
+    uint64_t tasks = 0;
+    uint64_t atomic = 0;
+    double cost = 0.0;
+    uint64_t bins = 0;
+    double latency_sum = 0.0;
+    bool feasible = true;
+  };
+  std::map<std::string, RequesterTotals> totals;  // sorted output
+  bool all_feasible = true;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const TimedSubmission& submission = (*submissions)[i];
+    auto slice = futures[i].get();
+    if (!slice.ok()) return Fail(slice.status().ToString());
+    auto merged = ConcatenateTasks(submission.tasks);
+    if (!merged.ok()) return Fail(merged.status().ToString());
+    auto validation = ValidatePlan(slice->plan, *merged, *profile);
+    if (!validation.ok()) return Fail(validation.status().ToString());
+    RequesterTotals& t = totals[slice->requester_id];
+    t.submissions += 1;
+    t.tasks += slice->num_tasks();
+    t.atomic += slice->num_atomic_tasks();
+    t.cost += slice->cost;
+    t.bins += slice->bins_posted;
+    t.latency_sum += slice->latency_seconds;
+    t.feasible = t.feasible && validation->feasible;
+    all_feasible = all_feasible && validation->feasible;
+  }
+
+  TablePrinter table({"requester", "submissions", "tasks", "atomic", "cost",
+                      "bins", "mean latency ms", "feasible"});
+  for (const auto& [requester, t] : totals) {
+    table.AddRow({requester, std::to_string(t.submissions),
+                  std::to_string(t.tasks), std::to_string(t.atomic),
+                  TablePrinter::FormatDouble(t.cost, 4),
+                  std::to_string(t.bins),
+                  TablePrinter::FormatDouble(
+                      t.latency_sum / t.submissions * 1e3, 3),
+                  t.feasible ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+
+  StreamingStats stats = engine.stats();
+  std::printf(
+      "replayed %llu submissions (%llu tasks, %llu atomic) in %.3f s\n"
+      "%llu flushes (%llu size, %llu deadline, %llu drain), "
+      "solve %.3f s, cost %.4f\n"
+      "opq cache: %llu hits, %llu misses\n",
+      static_cast<unsigned long long>(stats.submissions),
+      static_cast<unsigned long long>(stats.tasks),
+      static_cast<unsigned long long>(stats.atomic_tasks), replay_seconds,
+      static_cast<unsigned long long>(stats.flushes),
+      static_cast<unsigned long long>(stats.flushes_by_size),
+      static_cast<unsigned long long>(stats.flushes_by_deadline),
+      static_cast<unsigned long long>(stats.flushes_by_drain),
+      stats.solve_seconds, stats.total_cost,
+      static_cast<unsigned long long>(engine.cache().hits()),
+      static_cast<unsigned long long>(engine.cache().misses()));
+  return all_feasible ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -273,5 +455,6 @@ int main(int argc, char** argv) {
   if (command == "opq") return CmdOpq(*flags);
   if (command == "validate") return CmdValidate(*flags);
   if (command == "batch") return CmdBatch(*flags);
+  if (command == "stream") return CmdStream(*flags);
   return Usage();
 }
