@@ -169,8 +169,21 @@ Result<CrowdsourcingTask> ConcatenateTasks(
   return CrowdsourcingTask::FromThresholds(std::move(thresholds));
 }
 
+namespace {
+
+OpqCacheOptions CacheOptionsFrom(const ResourceOptions& resources) {
+  OpqCacheOptions options;
+  options.max_bytes = resources.cache_max_bytes;
+  options.max_entries = resources.cache_max_entries;
+  options.num_shards = resources.cache_shards;
+  return options;
+}
+
+}  // namespace
+
 DecompositionEngine::DecompositionEngine(EngineOptions options)
     : options_(options),
+      cache_(CacheOptionsFrom(options.resources)),
       pool_(std::make_unique<ThreadPool>(
           options.num_threads == 0 ? ThreadPool::DefaultThreads()
                                    : options.num_threads)) {}

@@ -64,6 +64,11 @@ struct EngineOptions {
   uint64_t opq_node_budget = 50'000'000;
   /// Bin-sharing policy across input tasks (see BatchSharing).
   BatchSharing sharing = BatchSharing::kPooled;
+  /// Capacity limits; the cache_* fields bound the engine's OpqCache
+  /// (defaults keep it unbounded, the pre-governor behavior). Bounding the
+  /// cache changes memory and speed, never the plan: an evicted queue is
+  /// simply rebuilt on the next request for its key.
+  ResourceOptions resources;
 };
 
 /// \brief Per-shard solve statistics (one shard = one threshold group with

@@ -1,5 +1,6 @@
 #include "engine/opq_cache.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/math_util.h"
@@ -15,6 +16,33 @@ uint64_t DoubleBits(double v) {
   return bits;
 }
 
+/// Approximate bookkeeping cost of one entry beyond the queue itself:
+/// the LRU list node, the index bucket slot and its share of the map node.
+constexpr uint64_t kNodeOverheadBytes = 128;
+
+bool SameProfile(const std::vector<TaskBin>& a, const BinProfile& b) {
+  const std::vector<TaskBin>& bins = b.bins();
+  if (a.size() != bins.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].cardinality != bins[i].cardinality ||
+        a[i].confidence != bins[i].confidence || a[i].cost != bins[i].cost) {
+      return false;
+    }
+  }
+  return true;
+}
+
+OpqCacheOptions Sanitized(OpqCacheOptions options) {
+  if (options.num_shards == 0) options.num_shards = 1;
+  // More shards than entry slots buys nothing but eviction-scan work, so a
+  // tiny cache collapses to fewer shards.
+  if (options.max_entries != 0 &&
+      static_cast<uint64_t>(options.num_shards) > options.max_entries) {
+    options.num_shards = static_cast<uint32_t>(options.max_entries);
+  }
+  return options;
+}
+
 }  // namespace
 
 uint64_t OpqCache::ProfileFingerprint(const BinProfile& profile) {
@@ -27,27 +55,120 @@ uint64_t OpqCache::ProfileFingerprint(const BinProfile& profile) {
   return h;
 }
 
+OpqCache::OpqCache(OpqCacheOptions options)
+    : options_(Sanitized(options)),
+      governor_(options_.max_bytes, options_.max_entries) {
+  shards_.reserve(options_.num_shards);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+OpqCache::Shard& OpqCache::ShardOf(const Key& key) {
+  return *shards_[HashCombine(key.first, key.second) % shards_.size()];
+}
+
+uint64_t OpqCache::EntryBytes(const Entry& entry) {
+  uint64_t bytes = sizeof(Entry) + kNodeOverheadBytes +
+                   entry.profile_bins.capacity() * sizeof(TaskBin);
+  if (entry.queue != nullptr) bytes += entry.queue->EstimatedBytes();
+  return bytes;
+}
+
+void OpqCache::EvictNodeLocked(Shard* shard, std::list<Node>::iterator it) {
+  auto bucket_it = shard->index.find(it->key);
+  if (bucket_it != shard->index.end()) {
+    auto& chain = bucket_it->second;
+    chain.erase(std::remove_if(chain.begin(), chain.end(),
+                               [&](const std::list<Node>::iterator& link) {
+                                 return link->entry == it->entry;
+                               }),
+                chain.end());
+    if (chain.empty()) shard->index.erase(bucket_it);
+  }
+  governor_.Release(it->entry->charged_bytes, 1);
+  it->entry->resident = false;
+  shard->lru.erase(it);
+  shard->evictions += 1;
+}
+
+bool OpqCache::EvictOneGlobal(const Entry* keep) {
+  // Pass 1: find the shard whose stalest evictable entry has the oldest
+  // tick, holding one shard lock at a time. The answer can go slightly
+  // stale by pass 2 -- an approximation, never a correctness issue.
+  size_t best_shard = shards_.size();
+  uint64_t best_tick = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+    for (auto it = shards_[s]->lru.rbegin(); it != shards_[s]->lru.rend();
+         ++it) {
+      if (it->entry.get() == keep) continue;  // at most one keep to skip
+      if (best_shard == shards_.size() || it->entry->last_used < best_tick) {
+        best_shard = s;
+        best_tick = it->entry->last_used;
+      }
+      break;  // only the stalest evictable entry of this shard competes
+    }
+  }
+  if (best_shard == shards_.size()) return false;
+
+  // Pass 2: evict that shard's current stalest evictable entry.
+  Shard& shard = *shards_[best_shard];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+    if (it->entry.get() == keep) continue;
+    EvictNodeLocked(&shard, std::prev(it.base()));
+    return true;
+  }
+  return false;  // raced empty; the caller's loop re-checks capacity
+}
+
+void OpqCache::EnforceCapacity(const Entry* keep) {
+  while (governor_.OverCapacity()) {
+    if (!EvictOneGlobal(keep)) break;
+  }
+}
+
 Result<OpqCache::Lookup> OpqCache::GetOrBuild(const BinProfile& profile,
                                               double threshold,
                                               const OpqBuildOptions& options) {
-  const Key key{ProfileFingerprint(profile), DoubleBits(threshold)};
+  const uint64_t fingerprint =
+      ProfileFingerprint(profile) & options_.fingerprint_mask;
+  const Key key{fingerprint, DoubleBits(threshold)};
+  Shard& shard = ShardOf(key);
 
   std::shared_ptr<Entry> entry;
   bool inserted = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = entries_.find(key);
-    if (it == entries_.end()) {
-      it = entries_.emplace(key, std::make_shared<Entry>()).first;
-      inserted = true;
-      ++misses_;
-    } else {
-      ++hits_;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto& chain = shard.index[key];
+    for (const auto& it : chain) {
+      if (SameProfile(it->entry->profile_bins, profile)) {
+        entry = it->entry;
+        // Refresh recency: move the node to the LRU front.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it);
+        entry->last_used = tick_.fetch_add(1) + 1;
+        shard.hits += 1;
+        break;
+      }
     }
-    entry = it->second;
+    if (entry == nullptr) {
+      if (!chain.empty()) shard.collisions += 1;
+      shard.misses += 1;
+      entry = std::make_shared<Entry>();
+      entry->profile_bins = profile.bins();
+      entry->last_used = tick_.fetch_add(1) + 1;
+      shard.lru.push_front(Node{key, entry});
+      chain.push_back(shard.lru.begin());
+      inserted = true;
+      // Charge the entry slot now; its bytes follow once the build
+      // finishes.
+      governor_.Charge(0, 1);
+    }
   }
+  if (inserted) EnforceCapacity(entry.get());
 
-  // The map lock is released before the (potentially long) build so other
+  // The shard lock is released before the (potentially long) build so other
   // keys proceed concurrently; racers on the same key serialize here.
   std::lock_guard<std::mutex> build_lock(entry->build_mutex);
   if (!entry->done) {
@@ -59,31 +180,90 @@ Result<OpqCache::Lookup> OpqCache::GetOrBuild(const BinProfile& profile,
       entry->error = built.status();
     }
     entry->done = true;
+
+    const uint64_t bytes = EntryBytes(*entry);
+    bool charged = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      if (entry->resident) {
+        // Not evicted while building: charge the real size. An entry
+        // evicted mid-build is never charged -- it lives on only through
+        // the queue shared_ptr its builder and racers hold.
+        entry->charged_bytes = bytes;
+        governor_.Charge(bytes, 0);
+        charged = true;
+      }
+    }
+    if (charged) EnforceCapacity(entry.get());
   }
   if (!entry->error.ok()) return entry->error;
   return Lookup{entry->queue, /*hit=*/!inserted};
 }
 
 size_t OpqCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
 }
 
 uint64_t OpqCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->hits;
+  }
+  return total;
 }
 
 uint64_t OpqCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->misses;
+  }
+  return total;
+}
+
+CacheStats OpqCache::stats() const {
+  CacheStats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.collisions += shard->collisions;
+    stats.entries += shard->lru.size();
+  }
+  const GovernorCounters counters = governor_.counters();
+  stats.bytes = counters.bytes;
+  stats.peak_bytes = counters.peak_bytes;
+  stats.peak_entries = counters.peak_units;
+  return stats;
 }
 
 void OpqCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  entries_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (Node& node : shard->lru) {
+      governor_.Release(node.entry->charged_bytes, 1);
+      node.entry->resident = false;
+    }
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+void OpqCache::ResetStats() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->hits = 0;
+    shard->misses = 0;
+    shard->evictions = 0;
+    shard->collisions = 0;
+  }
 }
 
 }  // namespace slade

@@ -1,0 +1,70 @@
+#include "engine/resource_governor.h"
+
+#include <algorithm>
+
+namespace slade {
+
+const char* BackpressurePolicyName(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock:
+      return "block";
+    case BackpressurePolicy::kReject:
+      return "reject";
+    case BackpressurePolicy::kShedOldest:
+      return "shed-oldest";
+  }
+  return "unknown";
+}
+
+bool ResourceGovernor::FitsLocked(uint64_t bytes, uint64_t units) const {
+  if (max_bytes_ != 0 && counters_.bytes + bytes > max_bytes_) return false;
+  if (max_units_ != 0 && counters_.units + units > max_units_) return false;
+  return true;
+}
+
+bool ResourceGovernor::TryAdmit(uint64_t bytes, uint64_t units) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!FitsLocked(bytes, units)) {
+    counters_.denied += 1;
+    return false;
+  }
+  counters_.bytes += bytes;
+  counters_.units += units;
+  counters_.peak_bytes = std::max(counters_.peak_bytes, counters_.bytes);
+  counters_.peak_units = std::max(counters_.peak_units, counters_.units);
+  counters_.admitted += 1;
+  return true;
+}
+
+void ResourceGovernor::Charge(uint64_t bytes, uint64_t units) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.bytes += bytes;
+  counters_.units += units;
+  counters_.peak_bytes = std::max(counters_.peak_bytes, counters_.bytes);
+  counters_.peak_units = std::max(counters_.peak_units, counters_.units);
+  counters_.admitted += 1;
+}
+
+void ResourceGovernor::Release(uint64_t bytes, uint64_t units) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.bytes = counters_.bytes >= bytes ? counters_.bytes - bytes : 0;
+  counters_.units = counters_.units >= units ? counters_.units - units : 0;
+}
+
+bool ResourceGovernor::WouldFit(uint64_t bytes, uint64_t units) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FitsLocked(bytes, units);
+}
+
+bool ResourceGovernor::OverCapacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return (max_bytes_ != 0 && counters_.bytes > max_bytes_) ||
+         (max_units_ != 0 && counters_.units > max_units_);
+}
+
+GovernorCounters ResourceGovernor::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace slade

@@ -11,6 +11,7 @@ EngineOptions ToEngineOptions(const StreamingOptions& options) {
   engine_options.num_threads = options.num_threads;
   engine_options.opq_node_budget = options.opq_node_budget;
   engine_options.sharing = options.sharing;
+  engine_options.resources = options.resources;
   return engine_options;
 }
 
@@ -32,7 +33,9 @@ StreamingOptions Sanitized(StreamingOptions options) {
 StreamingEngine::StreamingEngine(BinProfile profile, StreamingOptions options)
     : options_(Sanitized(options)),
       profile_(std::move(profile)),
-      engine_(ToEngineOptions(options)),
+      engine_(ToEngineOptions(options_)),
+      governor_(options_.resources.queue_max_bytes,
+                options_.resources.queue_max_atomic_tasks),
       worker_(&StreamingEngine::WorkerLoop, this) {}
 
 StreamingEngine::~StreamingEngine() {
@@ -41,11 +44,35 @@ StreamingEngine::~StreamingEngine() {
     shutdown_ = true;
   }
   wake_.notify_all();
+  admit_.notify_all();
   worker_.join();
 }
 
 std::future<Result<RequesterPlan>> StreamingEngine::Submit(
     std::string requester_id, std::vector<CrowdsourcingTask> tasks) {
+  return SubmitWithPolicy(std::move(requester_id), std::move(tasks),
+                          options_.resources.backpressure,
+                          /*rejected=*/nullptr);
+}
+
+Result<std::future<Result<RequesterPlan>>> StreamingEngine::TrySubmit(
+    std::string requester_id, std::vector<CrowdsourcingTask> tasks) {
+  Status rejected;
+  std::future<Result<RequesterPlan>> future =
+      SubmitWithPolicy(std::move(requester_id), std::move(tasks),
+                       BackpressurePolicy::kReject, &rejected);
+  if (!rejected.ok()) return rejected;
+  return future;
+}
+
+bool StreamingEngine::HasRoomLocked(const Pending& pending) const {
+  if (pending_.empty()) return true;
+  return governor_.WouldFit(pending.bytes, pending.num_atomic);
+}
+
+std::future<Result<RequesterPlan>> StreamingEngine::SubmitWithPolicy(
+    std::string requester_id, std::vector<CrowdsourcingTask> tasks,
+    BackpressurePolicy policy, Status* rejected) {
   std::promise<Result<RequesterPlan>> promise;
   std::future<Result<RequesterPlan>> future = promise.get_future();
   if (tasks.empty()) {
@@ -59,18 +86,91 @@ std::future<Result<RequesterPlan>> StreamingEngine::Submit(
   pending.requester = std::move(requester_id);
   for (const CrowdsourcingTask& t : tasks) pending.num_atomic += t.size();
   pending.tasks = std::move(tasks);
+  pending.bytes = sizeof(Pending) + pending.requester.capacity();
+  for (const CrowdsourcingTask& t : pending.tasks) {
+    pending.bytes += sizeof(CrowdsourcingTask) + t.size() * sizeof(double);
+  }
   pending.admitted = std::chrono::steady_clock::now();
   pending.promise = std::move(promise);
 
+  bool admitted = true;
+  bool shutdown_refused = false;
+  std::vector<Pending> shed;  // promises fulfilled after the lock drops
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stats_.submissions += 1;
-    stats_.tasks += pending.tasks.size();
-    stats_.atomic_tasks += pending.num_atomic;
-    pending_atomic_ += pending.num_atomic;
-    pending_.push_back(std::move(pending));
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!HasRoomLocked(pending)) {
+      // The queue is full: kick a flush so the solver opens room as fast
+      // as it can, then apply the policy.
+      flush_requested_ = true;
+      wake_.notify_one();
+      switch (policy) {
+        case BackpressurePolicy::kBlock:
+          stats_.blocked += 1;
+          // Re-kick the flush on every wake: a waiter that loses the
+          // post-flush admission race to another submitter must ask for
+          // the *next* flush too, or it would stall until the deadline.
+          while (!shutdown_ && !HasRoomLocked(pending)) {
+            flush_requested_ = true;
+            wake_.notify_one();
+            admit_.wait(lock);
+          }
+          if (shutdown_) {
+            // Admitting now could race the exiting worker and leave the
+            // future unfulfilled; fail it cleanly instead.
+            stats_.rejected += 1;
+            admitted = false;
+            shutdown_refused = true;
+          }
+          break;
+        case BackpressurePolicy::kReject:
+          stats_.rejected += 1;
+          admitted = false;
+          break;
+        case BackpressurePolicy::kShedOldest:
+          // Evict pending submissions oldest-first until the newcomer
+          // fits. If it is bigger than the whole cap, the queue empties
+          // and the empty-queue rule admits it alone.
+          while (!HasRoomLocked(pending) && !pending_.empty()) {
+            Pending victim = std::move(pending_.front());
+            pending_.pop_front();
+            pending_atomic_ -= victim.num_atomic;
+            governor_.Release(victim.bytes, victim.num_atomic);
+            stats_.shed += 1;
+            shed.push_back(std::move(victim));
+          }
+          break;
+      }
+    }
+    if (admitted) {
+      governor_.Charge(pending.bytes, pending.num_atomic);
+      stats_.submissions += 1;
+      stats_.tasks += pending.tasks.size();
+      stats_.atomic_tasks += pending.num_atomic;
+      pending_atomic_ += pending.num_atomic;
+      pending_.push_back(std::move(pending));
+    }
   }
-  wake_.notify_one();
+  if (admitted) wake_.notify_one();
+
+  for (Pending& victim : shed) {
+    victim.promise.set_value(Status::ResourceExhausted(
+        "StreamingEngine: submission from requester '" + victim.requester +
+        "' shed by shed-oldest backpressure to admit newer work"));
+  }
+  if (!admitted) {
+    Status status =
+        shutdown_refused
+            ? Status::ResourceExhausted(
+                  "StreamingEngine: engine shut down while submission "
+                  "was blocked on a full admission queue")
+            : Status::ResourceExhausted(
+                  "StreamingEngine: admission queue full (" +
+                  std::to_string(governor_.max_units()) +
+                  " atomic tasks / " + std::to_string(governor_.max_bytes()) +
+                  " bytes cap)");
+    if (rejected != nullptr) *rejected = status;
+    pending.promise.set_value(std::move(status));
+  }
   return future;
 }
 
@@ -93,8 +193,18 @@ void StreamingEngine::Drain() {
 }
 
 StreamingStats StreamingEngine::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  StreamingStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats = stats_;
+    stats.queue_submissions = pending_.size();
+    stats.queue_atomic_tasks = pending_atomic_;
+  }
+  const GovernorCounters counters = governor_.counters();
+  stats.queue_bytes = counters.bytes;
+  stats.peak_queue_atomic_tasks = counters.peak_units;
+  stats.peak_queue_bytes = counters.peak_bytes;
+  return stats;
 }
 
 bool StreamingEngine::SizeTriggeredLocked() const {
@@ -133,11 +243,19 @@ void StreamingEngine::WorkerLoop() {
       reason = FlushReason::kDeadline;
     }
     flush_requested_ = false;
-    std::vector<Pending> batch = std::move(pending_);
+    std::vector<Pending> batch;
+    batch.reserve(pending_.size());
+    for (Pending& p : pending_) {
+      governor_.Release(p.bytes, p.num_atomic);
+      batch.push_back(std::move(p));
+    }
     pending_.clear();
     pending_atomic_ = 0;
     const size_t batch_size = batch.size();
     in_flight_ += batch_size;
+    // The queue just emptied: submitters blocked on backpressure may admit
+    // (and refill it) while the solve below runs.
+    admit_.notify_all();
 
     lock.unlock();
     ProcessBatch(std::move(batch), reason);

@@ -18,6 +18,16 @@
 // throughput, never the answer. kPooled lets concurrent submissions tile
 // into shared bins for a cheaper global plan, at the price of slices that
 // overlap in bins (see plan_splitter.h on cost attribution).
+//
+// Admission is resource-governed: StreamingOptions::resources bounds the
+// pending queue (atomic tasks and estimated bytes ahead of the solver) and
+// picks what happens when a submission does not fit -- block until room,
+// reject it, or shed the oldest pending submission (both failure modes are
+// clean ResourceExhausted futures, never hangs). A submission that cannot
+// be admitted also kicks the worker to flush, so room opens as fast as the
+// solver can drain. Backpressure decides *which* submissions are answered,
+// never *what* the answer is: under kIsolated every admitted submission's
+// plan is still the standalone OPQ-Extended plan.
 
 #ifndef SLADE_ENGINE_STREAMING_ENGINE_H_
 #define SLADE_ENGINE_STREAMING_ENGINE_H_
@@ -25,6 +35,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <mutex>
 #include <string>
@@ -36,6 +47,7 @@
 #include "common/result.h"
 #include "engine/decomposition_engine.h"
 #include "engine/plan_splitter.h"
+#include "engine/resource_governor.h"
 
 namespace slade {
 
@@ -57,11 +69,15 @@ struct StreamingOptions {
   uint32_t num_threads = 0;
   /// Passed through to OPQ builds on cache misses.
   uint64_t opq_node_budget = 50'000'000;
+  /// Resource governance: queue_* + backpressure bound admission (see the
+  /// file comment); cache_* bound the wrapped engine's OPQ cache. Defaults
+  /// are unbounded, reproducing the ungoverned behavior exactly.
+  ResourceOptions resources;
 };
 
 /// \brief Admission counters, readable at any time via stats().
 struct StreamingStats {
-  uint64_t submissions = 0;
+  uint64_t submissions = 0;  ///< admitted (sheds counted; rejects not)
   uint64_t tasks = 0;
   uint64_t atomic_tasks = 0;
   uint64_t flushes = 0;
@@ -71,16 +87,28 @@ struct StreamingStats {
   /// Cumulative SolveBatch wall time and solved cost across all flushes.
   double solve_seconds = 0.0;
   double total_cost = 0.0;
+
+  // --- backpressure (see StreamingOptions::resources) ---
+  uint64_t rejected = 0;  ///< Submit/TrySubmit failed fast: queue full
+  uint64_t shed = 0;      ///< admitted, then evicted by kShedOldest
+  uint64_t blocked = 0;   ///< Submit calls that had to wait for room
+  /// Queue occupancy at the stats() snapshot (pending, not yet flushed).
+  uint64_t queue_submissions = 0;
+  uint64_t queue_atomic_tasks = 0;
+  uint64_t queue_bytes = 0;
+  /// High-water marks of the pending queue across the engine's lifetime.
+  uint64_t peak_queue_atomic_tasks = 0;
+  uint64_t peak_queue_bytes = 0;
 };
 
 /// \brief Long-lived streaming front end over DecompositionEngine.
 ///
-/// Thread-safe: any number of threads may call Submit/Flush/Drain
-/// concurrently. Micro-batches are solved one at a time, in admission
-/// order, on a dedicated worker thread; the solve itself parallelizes
-/// across shards on the wrapped engine's pool. The destructor drains:
-/// every future obtained from Submit() is fulfilled before the engine
-/// goes away.
+/// Thread-safe: any number of threads may call Submit/TrySubmit/Flush/
+/// Drain concurrently. Micro-batches are solved one at a time, in
+/// admission order, on a dedicated worker thread; the solve itself
+/// parallelizes across shards on the wrapped engine's pool. The destructor
+/// drains: every future obtained from Submit() is fulfilled before the
+/// engine goes away.
 class StreamingEngine {
  public:
   /// The platform's bin profile is fixed for the engine's lifetime: every
@@ -93,12 +121,22 @@ class StreamingEngine {
   StreamingEngine& operator=(const StreamingEngine&) = delete;
 
   /// Admits one submission (one requester, one or more crowdsourcing
-  /// tasks) and returns immediately. The future resolves, after the
-  /// owning micro-batch is solved, to the requester's slice of the merged
-  /// plan -- local ids ordered task by task as given here, with flush_id
-  /// and latency_seconds filled in. An empty `tasks` fails the future
-  /// with InvalidArgument without touching the pending batch.
+  /// tasks) and returns immediately -- except under BackpressurePolicy::
+  /// kBlock with a full queue, where it waits for room. The future
+  /// resolves, after the owning micro-batch is solved, to the requester's
+  /// slice of the merged plan -- local ids ordered task by task as given
+  /// here, with flush_id and latency_seconds filled in. An empty `tasks`
+  /// fails the future with InvalidArgument without touching the pending
+  /// batch; a queue-full rejection (kReject) or a later kShedOldest
+  /// eviction fails it with ResourceExhausted.
   std::future<Result<RequesterPlan>> Submit(
+      std::string requester_id, std::vector<CrowdsourcingTask> tasks);
+
+  /// Non-blocking admission: returns ResourceExhausted instead of a future
+  /// when the queue has no room, regardless of the configured backpressure
+  /// policy (it never waits and never sheds). On success the returned
+  /// future behaves exactly like Submit()'s.
+  Result<std::future<Result<RequesterPlan>>> TrySubmit(
       std::string requester_id, std::vector<CrowdsourcingTask> tasks);
 
   /// Asks the worker to flush whatever is pending, without waiting for
@@ -111,6 +149,8 @@ class StreamingEngine {
 
   StreamingStats stats() const;
   const OpqCache& cache() const { return engine_.cache(); }
+  /// The governor bounding the pending admission queue.
+  const ResourceGovernor& governor() const { return governor_; }
   const StreamingOptions& options() const { return options_; }
 
  private:
@@ -118,12 +158,20 @@ class StreamingEngine {
     std::string requester;
     std::vector<CrowdsourcingTask> tasks;
     size_t num_atomic = 0;
+    uint64_t bytes = 0;  ///< estimated queue charge for this submission
     std::chrono::steady_clock::time_point admitted;
     std::promise<Result<RequesterPlan>> promise;
   };
 
   enum class FlushReason { kSize, kDeadline, kDrain };
 
+  std::future<Result<RequesterPlan>> SubmitWithPolicy(
+      std::string requester_id, std::vector<CrowdsourcingTask> tasks,
+      BackpressurePolicy policy, Status* rejected);
+  /// True when `pending` may be admitted now: the queue is empty (a lone
+  /// submission is never deadlocked by a cap smaller than itself) or the
+  /// governor has room for it. Requires mutex_ held.
+  bool HasRoomLocked(const Pending& pending) const;
   void WorkerLoop();
   /// True when the pending batch must flush now on size alone (the
   /// deadline path is handled by the worker's timed wait).
@@ -133,11 +181,13 @@ class StreamingEngine {
   const StreamingOptions options_;
   const BinProfile profile_;
   DecompositionEngine engine_;
+  ResourceGovernor governor_;  ///< pending-queue bytes / atomic tasks
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;     ///< worker: pending work or shutdown
   std::condition_variable drained_;  ///< Drain(): everything fulfilled
-  std::vector<Pending> pending_;
+  std::condition_variable admit_;    ///< blocked Submit: room freed
+  std::deque<Pending> pending_;
   size_t pending_atomic_ = 0;
   bool flush_requested_ = false;
   bool shutdown_ = false;

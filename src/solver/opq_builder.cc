@@ -124,6 +124,14 @@ OptimalPriorityQueue::OptimalPriorityQueue(std::vector<Combination> elements,
                                            double theta)
     : elements_(std::move(elements)), theta_(theta) {}
 
+size_t OptimalPriorityQueue::EstimatedBytes() const {
+  size_t bytes = sizeof(*this) + elements_.capacity() * sizeof(Combination);
+  for (const Combination& c : elements_) {
+    bytes += c.parts().capacity() * sizeof(Combination::Parts::value_type);
+  }
+  return bytes;
+}
+
 std::string OptimalPriorityQueue::ToString() const {
   std::string out = "OPQ (theta=" + std::to_string(theta_) + ")\n";
   for (const Combination& c : elements_) {

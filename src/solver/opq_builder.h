@@ -38,6 +38,11 @@ class OptimalPriorityQueue {
   /// The log-domain threshold the queue was built for.
   double theta() const { return theta_; }
 
+  /// Estimated resident size of this queue in bytes (object plus element
+  /// storage plus each element's parts). Used by OpqCache to charge its
+  /// ResourceGovernor for capacity-bounded eviction.
+  size_t EstimatedBytes() const;
+
   /// Multi-line rendering mirroring the paper's Table 3.
   std::string ToString() const;
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -113,20 +114,216 @@ TEST(OpqCacheTest, ConcurrentLookupsBuildOnce) {
   EXPECT_EQ(cache.misses(), 1u);
 }
 
-TEST(OpqCacheTest, ClearResetsEverythingButKeepsHandedOutQueues) {
+TEST(OpqCacheTest, ClearDropsEntriesButKeepsLifetimeCounters) {
   OpqCache cache;
   auto profile = BinProfile::PaperExample();
   auto lookup = cache.GetOrBuild(profile, 0.9);
   ASSERT_TRUE(lookup.ok());
   auto held = lookup->queue;
+  ASSERT_TRUE(cache.GetOrBuild(profile, 0.9).ok());  // one hit on record
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.hits(), 0u);
-  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  // Clearing entries must not rewrite history: a long-running server
+  // clearing its cache keeps honest cumulative hit/miss counters.
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
   EXPECT_GT(held->size(), 0u);  // still usable after Clear
   auto rebuilt = cache.GetOrBuild(profile, 0.9);
   ASSERT_TRUE(rebuilt.ok());
   EXPECT_FALSE(rebuilt->hit);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(OpqCacheTest, ResetStatsZeroesCountersButKeepsEntries) {
+  OpqCache cache;
+  auto profile = BinProfile::PaperExample();
+  ASSERT_TRUE(cache.GetOrBuild(profile, 0.9).ok());
+  ASSERT_TRUE(cache.GetOrBuild(profile, 0.9).ok());
+  cache.ResetStats();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+  auto lookup = cache.GetOrBuild(profile, 0.9);
+  ASSERT_TRUE(lookup.ok());
+  EXPECT_TRUE(lookup->hit);  // the entry itself survived
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(OpqCacheTest, FingerprintCollisionsGetDistinctChainedEntries) {
+  // fingerprint_mask = 0 keys every profile to fingerprint 0, so two
+  // structurally different profiles collide by construction and must be
+  // told apart by the structural-equality guard.
+  OpqCacheOptions options;
+  options.fingerprint_mask = 0;
+  OpqCache cache(options);
+  auto jelly = BuildProfile(JellyModel(), 6);
+  auto smic = BuildProfile(SmicModel(), 6);
+  ASSERT_TRUE(jelly.ok() && smic.ok());
+
+  auto first = cache.GetOrBuild(*jelly, 0.9);
+  auto second = cache.GetOrBuild(*smic, 0.9);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_NE(first->queue.get(), second->queue.get());
+  EXPECT_FALSE(second->hit);  // the collision built its own entry
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().collisions, 1u);
+
+  // Each chained entry answers for exactly its own profile.
+  auto expect_matches_fresh = [](const OpqCache::Lookup& cached,
+                                 const BinProfile& profile) {
+    auto fresh = BuildOpq(profile, 0.9);
+    ASSERT_TRUE(fresh.ok());
+    ASSERT_EQ(cached.queue->size(), fresh->size());
+    for (size_t i = 0; i < fresh->size(); ++i) {
+      EXPECT_EQ(cached.queue->element(i).lcm(), fresh->element(i).lcm());
+      EXPECT_DOUBLE_EQ(cached.queue->element(i).unit_cost(),
+                       fresh->element(i).unit_cost());
+    }
+  };
+  expect_matches_fresh(*first, *jelly);
+  expect_matches_fresh(*second, *smic);
+
+  // Re-requests hit the right entry of the chain.
+  auto again = cache.GetOrBuild(*jelly, 0.9);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->hit);
+  EXPECT_EQ(again->queue.get(), first->queue.get());
+}
+
+TEST(OpqCacheTest, EntryCapacityEvictsLeastRecentlyUsed) {
+  OpqCacheOptions options;
+  options.max_entries = 2;
+  options.num_shards = 1;  // single shard so LRU order is global
+  OpqCache cache(options);
+  auto profile = BinProfile::PaperExample();
+  ASSERT_TRUE(cache.GetOrBuild(profile, 0.80).ok());  // A
+  ASSERT_TRUE(cache.GetOrBuild(profile, 0.90).ok());  // B
+  auto touch = cache.GetOrBuild(profile, 0.80);       // touch A: B is LRU
+  ASSERT_TRUE(touch.ok());
+  EXPECT_TRUE(touch->hit);
+  ASSERT_TRUE(cache.GetOrBuild(profile, 0.95).ok());  // C evicts B
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  auto a = cache.GetOrBuild(profile, 0.80);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->hit);  // A survived
+  auto b = cache.GetOrBuild(profile, 0.90);
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(b->hit);  // B was evicted and rebuilt
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(OpqCacheTest, ByteCapacityBoundsResidentBytes) {
+  auto profile = BinProfile::PaperExample();
+  // Measure one entry's charge with an unbounded probe cache, then budget
+  // roughly two and a half entries.
+  OpqCache probe;
+  ASSERT_TRUE(probe.GetOrBuild(profile, 0.9).ok());
+  const uint64_t one_entry = probe.stats().bytes;
+  ASSERT_GT(one_entry, 0u);
+
+  OpqCacheOptions options;
+  options.max_bytes = one_entry * 5 / 2;
+  options.num_shards = 1;
+  OpqCache cache(options);
+  for (double t : {0.80, 0.85, 0.90, 0.92, 0.95}) {
+    ASSERT_TRUE(cache.GetOrBuild(profile, t).ok());
+  }
+  const CacheStats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, options.max_bytes);
+  EXPECT_LE(stats.peak_bytes, options.max_bytes + one_entry * 2);
+}
+
+TEST(OpqCacheTest, EvictedQueueStaysValidForHolderAndRebuildsForRacers) {
+  OpqCacheOptions options;
+  options.max_entries = 1;
+  OpqCache cache(options);
+  auto profile = BinProfile::PaperExample();
+  auto held = cache.GetOrBuild(profile, 0.9);
+  ASSERT_TRUE(held.ok());
+  auto queue = held->queue;
+  ASSERT_TRUE(cache.GetOrBuild(profile, 0.8).ok());  // evicts the 0.9 entry
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // The holder's queue is untouched by the eviction (shared_ptr contract):
+  // an in-flight solve keeps working off it.
+  std::vector<TaskId> ids(100);
+  std::iota(ids.begin(), ids.end(), 0);
+  DecompositionPlan plan;
+  ASSERT_TRUE(RunOpqAssignment(*queue, ids, profile, &plan).ok());
+  EXPECT_GT(plan.TotalBinInstances(), 0u);
+
+  // A racer re-requesting the evicted key rebuilds a fresh, equal entry.
+  auto rebuilt = cache.GetOrBuild(profile, 0.9);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_FALSE(rebuilt->hit);
+  EXPECT_NE(rebuilt->queue.get(), queue.get());
+  ASSERT_EQ(rebuilt->queue->size(), queue->size());
+  for (size_t i = 0; i < queue->size(); ++i) {
+    EXPECT_EQ(rebuilt->queue->element(i).lcm(), queue->element(i).lcm());
+  }
+}
+
+TEST(OpqCacheTest, ConcurrentLookupsUnderTinyCapacityStayConsistent) {
+  // Threads hammer overlapping keys against a 2-entry cache, so builds,
+  // hits and evictions race constantly. Every lookup must still return a
+  // usable queue built for its own threshold. This is the ASan/TSan
+  // payload for eviction racing an in-flight build.
+  OpqCacheOptions options;
+  options.max_entries = 2;
+  OpqCache cache(options);
+  auto profile = BinProfile::PaperExample();
+  const double thresholds[] = {0.80, 0.85, 0.90, 0.92, 0.95};
+  constexpr int kThreads = 8;
+  constexpr int kIters = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&cache, &profile, &thresholds, &failures, i] {
+      for (int iter = 0; iter < kIters; ++iter) {
+        const double t = thresholds[(i * 7 + iter) % 5];
+        auto lookup = cache.GetOrBuild(profile, t);
+        if (!lookup.ok() || lookup->queue == nullptr ||
+            lookup->queue->theta() != LogReduction(t) ||
+            lookup->queue->elements().back().lcm() != 1) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses,
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(OpqCacheTest, ShardedCacheAggregatesAcrossShards) {
+  OpqCacheOptions options;
+  options.num_shards = 4;
+  OpqCache cache(options);
+  auto profile = BinProfile::PaperExample();
+  const double thresholds[] = {0.80, 0.85, 0.90, 0.92, 0.95};
+  for (double t : thresholds) ASSERT_TRUE(cache.GetOrBuild(profile, t).ok());
+  for (double t : thresholds) {
+    auto lookup = cache.GetOrBuild(profile, t);
+    ASSERT_TRUE(lookup.ok());
+    EXPECT_TRUE(lookup->hit);
+  }
+  EXPECT_EQ(cache.size(), 5u);
+  EXPECT_EQ(cache.hits(), 5u);
+  EXPECT_EQ(cache.misses(), 5u);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 5u);
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_EQ(stats.peak_bytes, stats.bytes);  // nothing was evicted
 }
 
 }  // namespace

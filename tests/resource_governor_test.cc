@@ -1,0 +1,105 @@
+#include "engine/resource_governor.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace slade {
+namespace {
+
+TEST(ResourceGovernorTest, ChargeReleaseAndPeaks) {
+  ResourceGovernor governor(/*max_bytes=*/1000, /*max_units=*/10);
+  governor.Charge(400, 4);
+  governor.Charge(300, 3);
+  GovernorCounters counters = governor.counters();
+  EXPECT_EQ(counters.bytes, 700u);
+  EXPECT_EQ(counters.units, 7u);
+  EXPECT_EQ(counters.peak_bytes, 700u);
+  EXPECT_EQ(counters.peak_units, 7u);
+  EXPECT_EQ(counters.admitted, 2u);
+
+  governor.Release(400, 4);
+  counters = governor.counters();
+  EXPECT_EQ(counters.bytes, 300u);
+  EXPECT_EQ(counters.units, 3u);
+  EXPECT_EQ(counters.peak_bytes, 700u);  // peaks are high-water marks
+  EXPECT_EQ(counters.peak_units, 7u);
+}
+
+TEST(ResourceGovernorTest, TryAdmitEnforcesBothCapacities) {
+  ResourceGovernor governor(/*max_bytes=*/100, /*max_units=*/3);
+  EXPECT_TRUE(governor.TryAdmit(60, 1));
+  EXPECT_FALSE(governor.TryAdmit(50, 1));  // bytes would hit 110
+  EXPECT_TRUE(governor.TryAdmit(40, 2));   // exactly at both limits
+  EXPECT_FALSE(governor.TryAdmit(0, 1));   // units at limit
+  const GovernorCounters counters = governor.counters();
+  EXPECT_EQ(counters.bytes, 100u);
+  EXPECT_EQ(counters.units, 3u);
+  EXPECT_EQ(counters.admitted, 2u);
+  EXPECT_EQ(counters.denied, 2u);
+  EXPECT_TRUE(governor.OverCapacity() == false);
+}
+
+TEST(ResourceGovernorTest, ZeroCapacityMeansUnbounded) {
+  ResourceGovernor governor(/*max_bytes=*/0, /*max_units=*/0);
+  EXPECT_TRUE(governor.TryAdmit(UINT64_C(1) << 40, 1'000'000));
+  EXPECT_TRUE(governor.WouldFit(UINT64_C(1) << 40, 1'000'000));
+  EXPECT_FALSE(governor.OverCapacity());
+}
+
+TEST(ResourceGovernorTest, WouldFitIsReadOnly) {
+  ResourceGovernor governor(/*max_bytes=*/100, /*max_units=*/0);
+  EXPECT_TRUE(governor.WouldFit(100, 0));
+  EXPECT_EQ(governor.counters().bytes, 0u);  // nothing charged
+  EXPECT_FALSE(governor.WouldFit(101, 0));
+}
+
+TEST(ResourceGovernorTest, OverCapacityAfterUnconditionalCharge) {
+  ResourceGovernor governor(/*max_bytes=*/100, /*max_units=*/0);
+  governor.Charge(150, 1);  // Charge never refuses; callers evict back down
+  EXPECT_TRUE(governor.OverCapacity());
+  governor.Release(60, 0);
+  EXPECT_FALSE(governor.OverCapacity());
+}
+
+TEST(ResourceGovernorTest, ReleaseSaturatesAtZero) {
+  ResourceGovernor governor(/*max_bytes=*/0, /*max_units=*/0);
+  governor.Charge(10, 1);
+  governor.Release(100, 5);  // a double-release bug must not wrap around
+  const GovernorCounters counters = governor.counters();
+  EXPECT_EQ(counters.bytes, 0u);
+  EXPECT_EQ(counters.units, 0u);
+}
+
+TEST(ResourceGovernorTest, ConcurrentChargeReleaseConserves) {
+  ResourceGovernor governor(/*max_bytes=*/0, /*max_units=*/0);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&governor] {
+      for (int iter = 0; iter < kIters; ++iter) {
+        governor.Charge(3, 1);
+        governor.Release(3, 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const GovernorCounters counters = governor.counters();
+  EXPECT_EQ(counters.bytes, 0u);
+  EXPECT_EQ(counters.units, 0u);
+  EXPECT_EQ(counters.admitted, static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_GE(counters.peak_bytes, 3u);
+}
+
+TEST(ResourceGovernorTest, PolicyNames) {
+  EXPECT_STREQ(BackpressurePolicyName(BackpressurePolicy::kBlock), "block");
+  EXPECT_STREQ(BackpressurePolicyName(BackpressurePolicy::kReject), "reject");
+  EXPECT_STREQ(BackpressurePolicyName(BackpressurePolicy::kShedOldest),
+               "shed-oldest");
+}
+
+}  // namespace
+}  // namespace slade

@@ -1,0 +1,305 @@
+// Deterministic semantics of the admission backpressure policies, plus a
+// concurrent shed/reject stress that rides the ASan/TSan CI legs.
+//
+// The deterministic tests exploit that the worker only flushes when kicked
+// (huge flush caps + huge deadline): a first submission parks in the
+// pending queue, so a second one deterministically finds the queue full
+// and the policy's behavior is observable without races -- Submit holds
+// the engine lock from the room check through the policy action, so the
+// flush kick it issues cannot drain the queue mid-decision.
+
+#include <future>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/streaming_engine.h"
+#include "workload/threshold_gen.h"
+#include "workload/workload.h"
+
+namespace slade {
+namespace {
+
+CrowdsourcingTask FixedTask(size_t num_atomic, uint64_t seed) {
+  ThresholdSpec spec;
+  spec.family = ThresholdFamily::kNormal;
+  spec.mu = 0.9;
+  spec.sigma = 0.03;
+  spec.clamp_lo = 0.6;
+  spec.clamp_hi = 0.98;
+  auto thresholds = GenerateThresholds(spec, num_atomic, seed);
+  EXPECT_TRUE(thresholds.ok());
+  auto task =
+      CrowdsourcingTask::FromThresholds(std::move(thresholds).ValueOrDie());
+  EXPECT_TRUE(task.ok());
+  return std::move(task).ValueOrDie();
+}
+
+/// Flush caps and deadline so large that only backpressure kicks (or an
+/// explicit Flush/Drain) ever cut a micro-batch.
+StreamingOptions ParkedOptions(BackpressurePolicy policy,
+                               uint64_t queue_max_atomic) {
+  StreamingOptions options;
+  options.max_pending_submissions = 1u << 20;
+  options.max_pending_atomic_tasks = 1u << 20;
+  options.max_delay_seconds = 3600.0;
+  options.resources.backpressure = policy;
+  options.resources.queue_max_atomic_tasks = queue_max_atomic;
+  return options;
+}
+
+TEST(StreamingBackpressureTest, RejectFailsFastWhenQueueIsFull) {
+  auto profile = BuildProfile(MakeModel(DatasetKind::kJelly), 6);
+  ASSERT_TRUE(profile.ok());
+  StreamingEngine engine(*profile,
+                         ParkedOptions(BackpressurePolicy::kReject,
+                                       /*queue_max_atomic=*/10));
+
+  auto first = engine.Submit("a", {FixedTask(10, 1)});   // fills the queue
+  auto second = engine.Submit("b", {FixedTask(10, 2)});  // no room: rejected
+  auto rejected = second.get();  // resolves without any flush happening
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsResourceExhausted())
+      << rejected.status().ToString();
+
+  engine.Drain();
+  auto delivered = first.get();
+  ASSERT_TRUE(delivered.ok()) << delivered.status().ToString();
+  EXPECT_EQ(delivered->requester_id, "a");
+
+  const StreamingStats stats = engine.stats();
+  EXPECT_EQ(stats.submissions, 1u);  // the rejected one never counted
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST(StreamingBackpressureTest, ShedOldestEvictsThePendingSubmission) {
+  auto profile = BuildProfile(MakeModel(DatasetKind::kJelly), 6);
+  ASSERT_TRUE(profile.ok());
+  StreamingEngine engine(*profile,
+                         ParkedOptions(BackpressurePolicy::kShedOldest,
+                                       /*queue_max_atomic=*/10));
+
+  auto first = engine.Submit("old", {FixedTask(10, 1)});
+  auto second = engine.Submit("new", {FixedTask(10, 2)});  // sheds "old"
+
+  auto shed = first.get();  // resolves immediately: evicted, never solved
+  EXPECT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsResourceExhausted()) << shed.status().ToString();
+
+  engine.Drain();
+  auto delivered = second.get();
+  ASSERT_TRUE(delivered.ok()) << delivered.status().ToString();
+  EXPECT_EQ(delivered->requester_id, "new");
+
+  const StreamingStats stats = engine.stats();
+  EXPECT_EQ(stats.submissions, 2u);  // both were admitted...
+  EXPECT_EQ(stats.shed, 1u);         // ...but the older one was shed
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(StreamingBackpressureTest, ShedOldestAdmitsOversizedSubmissionAlone) {
+  // A submission larger than the whole cap empties the queue and is then
+  // admitted alone (the empty-queue rule): nothing can deadlock on a cap
+  // smaller than one submission.
+  auto profile = BuildProfile(MakeModel(DatasetKind::kJelly), 6);
+  ASSERT_TRUE(profile.ok());
+  StreamingEngine engine(*profile,
+                         ParkedOptions(BackpressurePolicy::kShedOldest,
+                                       /*queue_max_atomic=*/10));
+
+  auto small = engine.Submit("small", {FixedTask(5, 1)});
+  auto huge = engine.Submit("huge", {FixedTask(40, 2)});  // 4x the cap
+  EXPECT_FALSE(small.get().ok());
+
+  engine.Drain();
+  auto delivered = huge.get();
+  ASSERT_TRUE(delivered.ok()) << delivered.status().ToString();
+  EXPECT_EQ(delivered->num_atomic_tasks(), 40u);
+}
+
+TEST(StreamingBackpressureTest, BlockWaitsForRoomAndLosesNothing) {
+  auto profile = BuildProfile(MakeModel(DatasetKind::kJelly), 6);
+  ASSERT_TRUE(profile.ok());
+  StreamingEngine engine(*profile,
+                         ParkedOptions(BackpressurePolicy::kBlock,
+                                       /*queue_max_atomic=*/10));
+
+  auto first = engine.Submit("a", {FixedTask(10, 1)});
+  // The second Submit blocks until the kick it issues makes the worker
+  // flush the first; run it on its own thread.
+  std::future<Result<RequesterPlan>> second;
+  std::thread submitter([&] {
+    second = engine.Submit("b", {FixedTask(10, 2)});
+  });
+  submitter.join();  // returns once admitted
+  engine.Drain();
+
+  auto a = first.get();
+  auto b = second.get();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  const StreamingStats stats = engine.stats();
+  EXPECT_EQ(stats.submissions, 2u);
+  EXPECT_EQ(stats.blocked, 1u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST(StreamingBackpressureTest, BlockedWaitersThatLoseTheAdmissionRaceRekick) {
+  // Two submitters block on one full queue; the flush they kick only makes
+  // room for one of them. The loser must re-request a flush and still get
+  // through -- without the re-kick it would stall until the (huge)
+  // deadline and this test would time out.
+  auto profile = BuildProfile(MakeModel(DatasetKind::kJelly), 6);
+  ASSERT_TRUE(profile.ok());
+  StreamingEngine engine(*profile,
+                         ParkedOptions(BackpressurePolicy::kBlock,
+                                       /*queue_max_atomic=*/30));
+
+  auto first = engine.Submit("a", {FixedTask(30, 1)});  // fills the queue
+  std::future<Result<RequesterPlan>> second;
+  std::future<Result<RequesterPlan>> third;
+  std::thread submitter_b([&] {
+    second = engine.Submit("b", {FixedTask(30, 2)});
+  });
+  std::thread submitter_c([&] {
+    third = engine.Submit("c", {FixedTask(30, 3)});
+  });
+  submitter_b.join();
+  submitter_c.join();
+  engine.Drain();
+
+  for (auto* future : {&first, &second, &third}) {
+    auto slice = future->get();
+    ASSERT_TRUE(slice.ok()) << slice.status().ToString();
+  }
+  const StreamingStats stats = engine.stats();
+  EXPECT_EQ(stats.submissions, 3u);
+  EXPECT_GE(stats.blocked, 1u);  // timing decides whether both blocked
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST(StreamingBackpressureTest, TrySubmitNeverBlocksRegardlessOfPolicy) {
+  auto profile = BuildProfile(MakeModel(DatasetKind::kJelly), 6);
+  ASSERT_TRUE(profile.ok());
+  // Policy is kBlock, but TrySubmit must fail fast instead of waiting.
+  StreamingEngine engine(*profile,
+                         ParkedOptions(BackpressurePolicy::kBlock,
+                                       /*queue_max_atomic=*/10));
+
+  auto admitted = engine.TrySubmit("a", {FixedTask(10, 1)});
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+
+  auto refused = engine.TrySubmit("b", {FixedTask(10, 2)});
+  EXPECT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsResourceExhausted())
+      << refused.status().ToString();
+
+  engine.Drain();
+  auto delivered = admitted->get();
+  ASSERT_TRUE(delivered.ok()) << delivered.status().ToString();
+  EXPECT_EQ(delivered->requester_id, "a");
+  // TrySubmit's refusal counts as a rejection but nothing was shed.
+  EXPECT_EQ(engine.stats().rejected, 1u);
+  EXPECT_EQ(engine.stats().shed, 0u);
+}
+
+TEST(StreamingBackpressureTest, QueueCountersTrackOccupancyAndPeaks) {
+  auto profile = BuildProfile(MakeModel(DatasetKind::kJelly), 6);
+  ASSERT_TRUE(profile.ok());
+  StreamingEngine engine(*profile,
+                         ParkedOptions(BackpressurePolicy::kBlock,
+                                       /*queue_max_atomic=*/100));
+
+  auto f1 = engine.Submit("a", {FixedTask(10, 1)});
+  auto f2 = engine.Submit("a", {FixedTask(20, 2)});
+  StreamingStats stats = engine.stats();
+  EXPECT_EQ(stats.queue_submissions, 2u);
+  EXPECT_EQ(stats.queue_atomic_tasks, 30u);
+  EXPECT_GT(stats.queue_bytes, 0u);
+  EXPECT_EQ(stats.peak_queue_atomic_tasks, 30u);
+
+  engine.Drain();
+  ASSERT_TRUE(f1.get().ok());
+  ASSERT_TRUE(f2.get().ok());
+  stats = engine.stats();
+  EXPECT_EQ(stats.queue_submissions, 0u);
+  EXPECT_EQ(stats.queue_atomic_tasks, 0u);
+  EXPECT_EQ(stats.queue_bytes, 0u);
+  EXPECT_EQ(stats.peak_queue_atomic_tasks, 30u);  // high-water mark sticks
+  EXPECT_GT(stats.peak_queue_bytes, 0u);
+}
+
+TEST(StreamingBackpressureTest, ConcurrentProducersUnderPressureAllResolve) {
+  // 8 producers race a tiny queue under each failing policy; every future
+  // must resolve (slice or clean ResourceExhausted) and the admission
+  // ledger must conserve. This is the sanitizer payload for the
+  // backpressure paths.
+  for (BackpressurePolicy policy :
+       {BackpressurePolicy::kReject, BackpressurePolicy::kShedOldest}) {
+    SCOPED_TRACE(std::string("policy ") + BackpressurePolicyName(policy));
+    auto profile = BuildProfile(MakeModel(DatasetKind::kJelly), 8);
+    ASSERT_TRUE(profile.ok());
+
+    StreamingOptions options;
+    options.max_pending_submissions = 4;
+    options.max_delay_seconds = 0.001;
+    options.num_threads = 2;
+    options.resources.backpressure = policy;
+    options.resources.queue_max_atomic_tasks = 40;
+    StreamingEngine engine(*profile, options);
+
+    constexpr size_t kProducers = 8;
+    constexpr size_t kPerProducer = 25;
+    std::vector<std::vector<std::future<Result<RequesterPlan>>>> futures(
+        kProducers);
+    {
+      std::vector<std::thread> producers;
+      producers.reserve(kProducers);
+      for (size_t p = 0; p < kProducers; ++p) {
+        producers.emplace_back([p, &futures, &engine] {
+          std::mt19937_64 rng(0x5eed + p);
+          const std::string requester = "p" + std::to_string(p);
+          for (size_t s = 0; s < kPerProducer; ++s) {
+            futures[p].push_back(engine.Submit(
+                requester,
+                {FixedTask(1 + rng() % 20, rng())}));
+          }
+        });
+      }
+      for (std::thread& producer : producers) producer.join();
+    }
+    engine.Drain();
+
+    uint64_t delivered = 0;
+    uint64_t failed = 0;
+    for (auto& per_producer : futures) {
+      for (auto& future : per_producer) {
+        auto slice = future.get();
+        if (slice.ok()) {
+          delivered += 1;
+        } else {
+          EXPECT_TRUE(slice.status().IsResourceExhausted())
+              << slice.status().ToString();
+          failed += 1;
+        }
+      }
+    }
+    EXPECT_EQ(delivered + failed, kProducers * kPerProducer);
+
+    const StreamingStats stats = engine.stats();
+    EXPECT_EQ(stats.rejected + stats.shed, failed);
+    EXPECT_EQ(stats.submissions, delivered + stats.shed);
+    EXPECT_EQ(stats.queue_submissions, 0u);
+    EXPECT_EQ(stats.queue_bytes, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace slade

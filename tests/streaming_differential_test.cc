@@ -186,7 +186,8 @@ std::map<std::string, RequesterReference> SequentialBaselines(
 /// slices in admission order, and returns plan + summed cost per requester.
 std::map<std::string, RequesterReference> StreamAndReassemble(
     const RandomWorkload& workload, const StreamingOptions& options,
-    StreamingStats* stats_out = nullptr, double* billed_out = nullptr) {
+    StreamingStats* stats_out = nullptr, double* billed_out = nullptr,
+    CacheStats* cache_out = nullptr) {
   StreamingEngine engine(workload.profile, options);
   std::vector<std::future<Result<RequesterPlan>>> futures;
   futures.reserve(workload.submissions.size());
@@ -217,6 +218,7 @@ std::map<std::string, RequesterReference> StreamAndReassemble(
   }
   if (stats_out != nullptr) *stats_out = engine.stats();
   if (billed_out != nullptr) *billed_out = billed;
+  if (cache_out != nullptr) *cache_out = engine.cache().stats();
   return reassembled;
 }
 
@@ -276,6 +278,98 @@ TEST(StreamingDifferentialTest, IdenticalAcrossThreadCountsAndPolicies) {
       auto streamed = StreamAndReassemble(workload, options);
       ExpectMatchesSequential(streamed, references, workload.profile);
     }
+  }
+}
+
+TEST(StreamingDifferentialTest, EvictionPressureKeepsPlansIdentical) {
+  // A 1-entry OPQ cache forces an eviction on every threshold-group
+  // switch; the differential guarantee must not notice -- an evicted queue
+  // is rebuilt to exactly the same content, and queues held by in-flight
+  // shard solves stay valid via shared ownership.
+  constexpr size_t kWorkloads = 16;
+  uint64_t total_evictions = 0;
+  for (size_t w = 0; w < kWorkloads; ++w) {
+    SCOPED_TRACE("workload " + std::to_string(w));
+    RandomWorkload workload = MakeRandomWorkload(kSuiteSeed + w);
+    auto references = SequentialBaselines(workload);
+
+    StreamingOptions options =
+        PolicyOf(w, /*threads=*/1 + w % 4, BatchSharing::kIsolated);
+    options.resources.cache_max_entries = 1;
+    CacheStats cache_stats;
+    auto streamed = StreamAndReassemble(workload, options, nullptr, nullptr,
+                                        &cache_stats);
+    ExpectMatchesSequential(streamed, references, workload.profile);
+    total_evictions += cache_stats.evictions;
+    EXPECT_LE(cache_stats.entries, 1u);
+  }
+  // Heterogeneous thresholds span several Algorithm 4 groups, so at least
+  // some workloads must have churned the 1-entry cache.
+  EXPECT_GT(total_evictions, 0u);
+}
+
+TEST(StreamingDifferentialTest, BackpressurePoliciesPreserveAdmittedPlans) {
+  // Small admission caps under a fast submission loop: some submissions
+  // are rejected or shed (policy-dependent), but every future resolves,
+  // every failure is a clean ResourceExhausted, and every delivered slice
+  // is still placement-identical to solving its submission alone.
+  for (BackpressurePolicy policy :
+       {BackpressurePolicy::kBlock, BackpressurePolicy::kReject,
+        BackpressurePolicy::kShedOldest}) {
+    SCOPED_TRACE(std::string("policy ") + BackpressurePolicyName(policy));
+    RandomWorkload workload = MakeRandomWorkload(kSuiteSeed + 31337);
+
+    StreamingOptions options;
+    options.max_pending_submissions = 2;
+    options.max_delay_seconds = 3600.0;
+    options.num_threads = 2;
+    options.sharing = BatchSharing::kIsolated;
+    options.resources.backpressure = policy;
+    options.resources.queue_max_atomic_tasks = 48;
+
+    StreamingEngine engine(workload.profile, options);
+    std::vector<std::future<Result<RequesterPlan>>> futures;
+    futures.reserve(workload.submissions.size());
+    for (const Submission& submission : workload.submissions) {
+      futures.push_back(
+          engine.Submit(submission.requester, submission.tasks));
+    }
+    engine.Drain();
+
+    uint64_t delivered = 0;
+    uint64_t failed = 0;
+    for (size_t i = 0; i < futures.size(); ++i) {
+      SCOPED_TRACE("submission " + std::to_string(i));
+      const Submission& submission = workload.submissions[i];
+      auto slice = futures[i].get();
+      if (!slice.ok()) {
+        EXPECT_TRUE(slice.status().IsResourceExhausted())
+            << slice.status().ToString();
+        failed += 1;
+        continue;
+      }
+      delivered += 1;
+      // Per-submission identity: under kIsolated a slice equals the
+      // sequential reference solve of just its own tasks, regardless of
+      // which other submissions were admitted around it.
+      auto reference =
+          SolveBatchSequential(submission.tasks, workload.profile);
+      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+      EXPECT_EQ(PlanSignature(slice->plan), PlanSignature(reference->plan));
+      EXPECT_NEAR(slice->cost, reference->total_cost,
+                  1e-9 + 1e-9 * reference->total_cost);
+    }
+
+    const StreamingStats stats = engine.stats();
+    if (policy == BackpressurePolicy::kBlock) {
+      EXPECT_EQ(failed, 0u);  // blocking loses nothing
+      EXPECT_EQ(stats.rejected, 0u);
+      EXPECT_EQ(stats.shed, 0u);
+    }
+    EXPECT_EQ(delivered + failed, futures.size());
+    EXPECT_EQ(stats.rejected + stats.shed, failed);
+    // Admitted = delivered + shed (rejected never entered the queue).
+    EXPECT_EQ(stats.submissions, delivered + stats.shed);
   }
 }
 

@@ -17,7 +17,8 @@
 //
 //   slade_cli batch    --profile F --workload W.csv [--threads K]
 //                      [--mode engine|sequential] [--sharing pooled|isolated]
-//                      [--out PLAN.csv]
+//                      [--cache-max-bytes B] [--cache-max-entries N]
+//                      [--cache-shards S] [--out PLAN.csv]
 //       Decompose a whole batch of crowdsourcing tasks (CSV rows
 //       `task,threshold`) with the sharded parallel engine, or the
 //       sequential per-task reference loop for comparison.
@@ -26,10 +27,19 @@
 //                      [--max-pending-atomic N] [--max-pending-submissions N]
 //                      [--max-delay-ms D] [--sharing isolated|pooled]
 //                      [--speed X]
+//                      [--cache-max-bytes B] [--cache-max-entries N]
+//                      [--cache-shards S] [--queue-max-atomic N]
+//                      [--queue-max-bytes B]
+//                      [--backpressure block|reject|shed-oldest]
 //       Replay a timed workload (CSV rows `arrival_ms,requester,task,
 //       threshold`) through the streaming admission engine and print
 //       per-requester summaries. --speed X replays arrivals X times
 //       faster than recorded; 0 (the default) submits without waiting.
+//       The cache-* flags bound the OPQ cache (LRU eviction) and the
+//       queue-* flags bound the pending admission queue; --backpressure
+//       picks what happens to a submission that does not fit (rejected
+//       and shed submissions are reported, not fatal). All limits
+//       default to 0 = unbounded.
 
 #include <chrono>
 #include <cstdio>
@@ -78,12 +88,18 @@ int Usage() {
       "  slade_cli batch    --profile FILE --workload FILE [--threads K]\n"
       "                     [--mode engine|sequential] "
       "[--sharing pooled|isolated]\n"
+      "                     [--cache-max-bytes B] [--cache-max-entries N]"
+      " [--cache-shards S]\n"
       "                     [--out FILE]\n"
       "  slade_cli stream   --profile FILE --workload FILE [--threads K]\n"
       "                     [--max-pending-atomic N] "
       "[--max-pending-submissions N]\n"
       "                     [--max-delay-ms D] [--sharing isolated|pooled]"
-      " [--speed X]\n";
+      " [--speed X]\n"
+      "                     [--cache-max-bytes B] [--cache-max-entries N]"
+      " [--cache-shards S]\n"
+      "                     [--queue-max-atomic N] [--queue-max-bytes B]\n"
+      "                     [--backpressure block|reject|shed-oldest]\n";
   return 2;
 }
 
@@ -134,6 +150,58 @@ bool ParseSharingFlag(const std::map<std::string, std::string>& flags,
   } else {
     Fail("unknown sharing: " + it->second + " (want isolated|pooled)");
     return false;
+  }
+  return true;
+}
+
+/// Parses one optional non-negative integer flag; prints the error and
+/// returns false on a bad value, leaves `*out` untouched when absent.
+bool ParseUintFlag(const std::map<std::string, std::string>& flags,
+                   const char* key, uint64_t* out) {
+  auto it = flags.find(key);
+  if (it == flags.end()) return true;
+  auto parsed = ParseUint(it->second);
+  if (!parsed.ok()) {
+    Fail(std::string("--") + key + " expects a non-negative integer, got " +
+         it->second);
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
+/// Parses the optional resource-governance flags shared by batch and
+/// stream: cache capacity/sharding, admission queue caps, and the
+/// backpressure policy. Limits of 0 (the default) mean unbounded.
+bool ParseResourceFlags(const std::map<std::string, std::string>& flags,
+                        ResourceOptions* resources) {
+  if (!ParseUintFlag(flags, "cache-max-bytes", &resources->cache_max_bytes) ||
+      !ParseUintFlag(flags, "cache-max-entries",
+                     &resources->cache_max_entries) ||
+      !ParseUintFlag(flags, "queue-max-atomic",
+                     &resources->queue_max_atomic_tasks) ||
+      !ParseUintFlag(flags, "queue-max-bytes", &resources->queue_max_bytes)) {
+    return false;
+  }
+  uint64_t shards = resources->cache_shards;
+  if (!ParseUintFlag(flags, "cache-shards", &shards)) return false;
+  if (shards == 0 || shards > 4096) {
+    Fail("--cache-shards expects an integer in [1, 4096]");
+    return false;
+  }
+  resources->cache_shards = static_cast<uint32_t>(shards);
+  if (auto it = flags.find("backpressure"); it != flags.end()) {
+    if (it->second == "block") {
+      resources->backpressure = BackpressurePolicy::kBlock;
+    } else if (it->second == "reject") {
+      resources->backpressure = BackpressurePolicy::kReject;
+    } else if (it->second == "shed-oldest") {
+      resources->backpressure = BackpressurePolicy::kShedOldest;
+    } else {
+      Fail("unknown backpressure: " + it->second +
+           " (want block|reject|shed-oldest)");
+      return false;
+    }
   }
   return true;
 }
@@ -279,21 +347,32 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
   const std::string mode =
       flags.count("mode") ? flags.at("mode") : "engine";
   Result<BatchReport> report = Status::Internal("unreachable");
+  std::string cache_line;
   if (mode == "engine") {
     EngineOptions options;
     if (!ParseThreadsFlag(flags, &options.num_threads)) return 1;
     if (!ParseSharingFlag(flags, &options.sharing)) return 1;
+    if (!ParseResourceFlags(flags, &options.resources)) return 1;
     DecompositionEngine engine(options);
     std::printf("engine: %zu threads, %s sharing\n", engine.num_threads(),
                 BatchSharingName(options.sharing));
     report = engine.SolveBatch(*tasks, *profile);
+    const CacheStats cache_stats = engine.cache().stats();
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "opq cache: %.1f%% hit rate, %llu evictions, %llu bytes "
+                  "resident\n",
+                  cache_stats.hit_rate() * 100.0,
+                  static_cast<unsigned long long>(cache_stats.evictions),
+                  static_cast<unsigned long long>(cache_stats.bytes));
+    cache_line = buf;
   } else if (mode == "sequential") {
     report = SolveBatchSequential(*tasks, *profile);
   } else {
     return Fail("unknown mode: " + mode + " (want engine|sequential)");
   }
   if (!report.ok()) return Fail(report.status().ToString());
-  std::printf("%s", report->ToString().c_str());
+  std::printf("%s%s", report->ToString().c_str(), cache_line.c_str());
 
   auto merged_task = ConcatenateTasks(*tasks);
   if (!merged_task.ok()) return Fail(merged_task.status().ToString());
@@ -345,6 +424,7 @@ int CmdStream(const std::map<std::string, std::string>& flags) {
   }
   if (!ParseThreadsFlag(flags, &options.num_threads)) return 1;
   if (!ParseSharingFlag(flags, &options.sharing)) return 1;
+  if (!ParseResourceFlags(flags, &options.resources)) return 1;
   double speed = 0.0;
   if (auto it = flags.find("speed"); it != flags.end()) {
     auto parsed = ParseDouble(it->second);
@@ -355,11 +435,12 @@ int CmdStream(const std::map<std::string, std::string>& flags) {
   }
 
   std::printf("streaming: sharing %s, flush at %zu atomic / %zu submissions"
-              " / %.1f ms\n",
+              " / %.1f ms, backpressure %s\n",
               BatchSharingName(options.sharing),
               options.max_pending_atomic_tasks,
               options.max_pending_submissions,
-              options.max_delay_seconds * 1e3);
+              options.max_delay_seconds * 1e3,
+              BackpressurePolicyName(options.resources.backpressure));
 
   // Replay arrivals and collect one future per submission.
   Stopwatch wall;
@@ -392,10 +473,19 @@ int CmdStream(const std::map<std::string, std::string>& flags) {
   };
   std::map<std::string, RequesterTotals> totals;  // sorted output
   bool all_feasible = true;
+  uint64_t backpressured = 0;
   for (size_t i = 0; i < futures.size(); ++i) {
     const TimedSubmission& submission = (*submissions)[i];
     auto slice = futures[i].get();
-    if (!slice.ok()) return Fail(slice.status().ToString());
+    if (!slice.ok()) {
+      // Rejected / shed submissions are an expected outcome of a bounded
+      // queue, reported in the summary; anything else is a real failure.
+      if (slice.status().IsResourceExhausted()) {
+        backpressured += 1;
+        continue;
+      }
+      return Fail(slice.status().ToString());
+    }
     auto merged = ConcatenateTasks(submission.tasks);
     if (!merged.ok()) return Fail(merged.status().ToString());
     auto validation = ValidatePlan(slice->plan, *merged, *profile);
@@ -425,11 +515,16 @@ int CmdStream(const std::map<std::string, std::string>& flags) {
   table.Print(std::cout);
 
   StreamingStats stats = engine.stats();
+  const CacheStats cache_stats = engine.cache().stats();
   std::printf(
-      "replayed %llu submissions (%llu tasks, %llu atomic) in %.3f s\n"
+      "replayed %llu admitted submissions (%llu tasks, %llu atomic) in "
+      "%.3f s\n"
       "%llu flushes (%llu size, %llu deadline, %llu drain), "
       "solve %.3f s, cost %.4f\n"
-      "opq cache: %llu hits, %llu misses\n",
+      "opq cache: %llu hits, %llu misses (%.1f%% hit rate), "
+      "%llu evictions, %llu bytes resident (peak %llu)\n"
+      "backpressure: %llu rejected, %llu shed, %llu blocked "
+      "(peak queue %llu atomic / %llu bytes)\n",
       static_cast<unsigned long long>(stats.submissions),
       static_cast<unsigned long long>(stats.tasks),
       static_cast<unsigned long long>(stats.atomic_tasks), replay_seconds,
@@ -438,8 +533,23 @@ int CmdStream(const std::map<std::string, std::string>& flags) {
       static_cast<unsigned long long>(stats.flushes_by_deadline),
       static_cast<unsigned long long>(stats.flushes_by_drain),
       stats.solve_seconds, stats.total_cost,
-      static_cast<unsigned long long>(engine.cache().hits()),
-      static_cast<unsigned long long>(engine.cache().misses()));
+      static_cast<unsigned long long>(cache_stats.hits),
+      static_cast<unsigned long long>(cache_stats.misses),
+      cache_stats.hit_rate() * 100.0,
+      static_cast<unsigned long long>(cache_stats.evictions),
+      static_cast<unsigned long long>(cache_stats.bytes),
+      static_cast<unsigned long long>(cache_stats.peak_bytes),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.blocked),
+      static_cast<unsigned long long>(stats.peak_queue_atomic_tasks),
+      static_cast<unsigned long long>(stats.peak_queue_bytes));
+  if (backpressured > 0) {
+    std::printf("%llu of %zu submissions failed with ResourceExhausted "
+                "(rejected or shed)\n",
+                static_cast<unsigned long long>(backpressured),
+                futures.size());
+  }
   return all_feasible ? 0 : 3;
 }
 
