@@ -13,10 +13,16 @@ std::string TaskBin::ToString() const {
 }
 
 BinProfile::BinProfile(std::vector<TaskBin> bins) : bins_(std::move(bins)) {
+  log_weights_.reserve(bins_.size());
+  costs_per_task_.reserve(bins_.size());
   for (const TaskBin& b : bins_) {
+    log_weights_.push_back(b.log_weight());
+    costs_per_task_.push_back(b.cost_per_task());
     max_log_weight_ = std::max(max_log_weight_, b.log_weight());
     max_confidence_ = std::max(max_confidence_, b.confidence);
   }
+  min_log_weight_ = *std::min_element(log_weights_.begin(),
+                                      log_weights_.end());
 }
 
 Result<BinProfile> BinProfile::Create(std::vector<TaskBin> bins) {

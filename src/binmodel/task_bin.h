@@ -72,8 +72,22 @@ class BinProfile {
 
   /// Largest per-task log contribution over all bins; > 0 by construction.
   double max_log_weight() const { return max_log_weight_; }
+  /// Smallest per-task log contribution over all bins; > 0 by construction.
+  double min_log_weight() const { return min_log_weight_; }
   /// Largest confidence over all bins.
   double max_confidence() const { return max_confidence_; }
+
+  /// Flat structure-of-arrays views of the profile, indexed by l-1 (so
+  /// `log_weights()[l-1] == bin(l).log_weight()`). Precomputed once at
+  /// construction; the Algorithm 2 enumerator's inner loop reads these
+  /// contiguous arrays instead of chasing per-bin fields, keeping the hot
+  /// path cache-linear and free of repeated log1p/division work.
+  const std::vector<double>& log_weights() const { return log_weights_; }
+  /// `costs_per_task()[l-1] == bin(l).cost / l` (the unit-cost increment
+  /// of adding one copy of b_l to a combination).
+  const std::vector<double>& costs_per_task() const {
+    return costs_per_task_;
+  }
 
   /// Returns a copy truncated to bins of cardinality <= `max_l` (used by
   /// the |B| sweep of Figures 6e-6h). Fails if max_l is 0 or exceeds m.
@@ -86,7 +100,10 @@ class BinProfile {
   explicit BinProfile(std::vector<TaskBin> bins);
 
   std::vector<TaskBin> bins_;
+  std::vector<double> log_weights_;
+  std::vector<double> costs_per_task_;
   double max_log_weight_ = 0.0;
+  double min_log_weight_ = 0.0;
   double max_confidence_ = 0.0;
 };
 

@@ -32,12 +32,17 @@ inline double InverseLogReduction(double theta) {
 /// \brief Greatest common divisor of two positive integers.
 inline uint64_t Gcd(uint64_t a, uint64_t b) { return std::gcd(a, b); }
 
+/// Default saturation cap for SaturatingLcm. Named so callers that inline
+/// the LCM update (the OPQ builder's fast path) saturate at exactly the
+/// same value.
+inline constexpr uint64_t kSaturatingLcmCap = UINT64_C(1) << 62;
+
 /// \brief Least common multiple with saturation: returns `cap` if the true
 /// LCM would exceed `cap`. The OPQ assigns LCM(..) atomic tasks per
 /// combination, so values beyond the task count are never useful and this
 /// guards against overflow for cardinalities up to 64.
 uint64_t SaturatingLcm(uint64_t a, uint64_t b,
-                       uint64_t cap = UINT64_C(1) << 62);
+                       uint64_t cap = kSaturatingLcmCap);
 
 /// \brief True iff |a - b| <= eps.
 inline bool ApproxEq(double a, double b, double eps = kRelEps) {

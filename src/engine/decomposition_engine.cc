@@ -241,9 +241,17 @@ Result<BatchReport> DecompositionEngine::SolveBatch(
     SLADE_RETURN_NOT_OK(st);
   }
 
-  // Merge in shard order: deterministic regardless of execution order.
+  // Merge in shard order: deterministic regardless of execution order. The
+  // merged plan is bulk-reserved so appending the shard plans (whose
+  // placements were themselves bulk-stamped, see ExpandBlocksInto) never
+  // reallocates mid-merge.
   BatchReport report;
   report.task_offsets = std::move(offsets);
+  size_t total_placements = 0;
+  for (const DecompositionPlan& plan : shard_plans) {
+    total_placements += plan.placements().size();
+  }
+  report.plan.Reserve(total_placements);
   for (size_t s = 0; s < shards.size(); ++s) {
     report.plan.Append(std::move(shard_plans[s]));
     report.total_cost += shard_stats[s].cost;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/math_util.h"
+#include "common/stopwatch.h"
 
 namespace slade {
 
@@ -172,7 +173,15 @@ Result<OpqCache::Lookup> OpqCache::GetOrBuild(const BinProfile& profile,
   // keys proceed concurrently; racers on the same key serialize here.
   std::lock_guard<std::mutex> build_lock(entry->build_mutex);
   if (!entry->done) {
-    auto built = BuildOpq(profile, threshold, options);
+    OpqBuildStats stats;
+    Stopwatch build_watch;
+    auto built = BuildOpq(profile, threshold, options, &stats);
+    {
+      std::lock_guard<std::mutex> stats_lock(build_stats_mutex_);
+      builds_ += 1;
+      build_stats_.Accumulate(stats);
+      build_seconds_ += build_watch.ElapsedSeconds();
+    }
     if (built.ok()) {
       entry->queue = std::make_shared<const OptimalPriorityQueue>(
           std::move(built).ValueOrDie());
@@ -241,6 +250,12 @@ CacheStats OpqCache::stats() const {
   stats.bytes = counters.bytes;
   stats.peak_bytes = counters.peak_bytes;
   stats.peak_entries = counters.peak_units;
+  {
+    std::lock_guard<std::mutex> lock(build_stats_mutex_);
+    stats.builds = builds_;
+    stats.build_stats = build_stats_;
+    stats.build_seconds = build_seconds_;
+  }
   return stats;
 }
 
@@ -264,6 +279,10 @@ void OpqCache::ResetStats() {
     shard->evictions = 0;
     shard->collisions = 0;
   }
+  std::lock_guard<std::mutex> lock(build_stats_mutex_);
+  builds_ = 0;
+  build_stats_ = OpqBuildStats{};
+  build_seconds_ = 0.0;
 }
 
 }  // namespace slade

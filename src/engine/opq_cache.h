@@ -69,6 +69,14 @@ struct CacheStats {
   uint64_t peak_entries = 0;
   uint64_t peak_bytes = 0;
 
+  /// Aggregate Algorithm 2 build cost paid by this cache's misses:
+  /// number of enumerations run, their summed OpqBuildStats and wall time.
+  /// Failed builds (e.g. node-budget exhaustion) are included -- their
+  /// nodes were still visited and paid for.
+  uint64_t builds = 0;
+  OpqBuildStats build_stats;
+  double build_seconds = 0.0;
+
   double hit_rate() const {
     const uint64_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / total;
@@ -186,6 +194,14 @@ class OpqCache {
   ResourceGovernor governor_;
   std::atomic<uint64_t> tick_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Aggregate Algorithm 2 build cost (lifetime counters, like hit/miss:
+  /// Clear() keeps them, ResetStats() zeroes them). Builds are rare and
+  /// long next to a mutex acquisition, so one mutex is plenty.
+  mutable std::mutex build_stats_mutex_;
+  uint64_t builds_ = 0;
+  OpqBuildStats build_stats_;
+  double build_seconds_ = 0.0;
 };
 
 }  // namespace slade

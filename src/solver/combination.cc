@@ -60,6 +60,50 @@ double Combination::ExpandInto(const std::vector<TaskId>& ids, size_t offset,
   return cost;
 }
 
+double Combination::ExpandBlocksInto(const std::vector<TaskId>& ids,
+                                     size_t offset, uint64_t blocks,
+                                     const BinProfile& profile,
+                                     DecompositionPlan* plan) const {
+  if (blocks == 0) return 0.0;
+  const size_t lcm = static_cast<size_t>(lcm_);
+
+  // The placement template of one perfect block: each part (k, n_k) tiles
+  // the block's lcm ids into lcm/k groups of exactly k (k divides lcm by
+  // construction). Derived once; every block stamps the same groups at its
+  // own id offset.
+  struct TemplateGroup {
+    uint32_t cardinality;
+    uint32_t copies;
+    size_t begin;  // offset of the group's first id within the block
+  };
+  std::vector<TemplateGroup> groups;
+  double block_cost = 0.0;
+  size_t groups_per_block = 0;
+  for (const auto& [cardinality, copies] : parts_) {
+    groups_per_block += lcm / cardinality;
+  }
+  groups.reserve(groups_per_block);
+  for (const auto& [cardinality, copies] : parts_) {
+    for (size_t begin = 0; begin < lcm; begin += cardinality) {
+      groups.push_back(TemplateGroup{cardinality, copies, begin});
+    }
+    block_cost += static_cast<double>(lcm / cardinality) *
+                  static_cast<double>(copies) * profile.bin(cardinality).cost;
+  }
+
+  plan->Reserve(plan->placements().size() +
+                static_cast<size_t>(blocks) * groups_per_block);
+  for (uint64_t block = 0; block < blocks; ++block) {
+    const size_t base = offset + static_cast<size_t>(block) * lcm;
+    for (const TemplateGroup& g : groups) {
+      const auto first = ids.begin() + static_cast<ptrdiff_t>(base + g.begin);
+      plan->Add(g.cardinality, g.copies,
+                std::vector<TaskId>(first, first + g.cardinality));
+    }
+  }
+  return static_cast<double>(blocks) * block_cost;
+}
+
 std::string Combination::ToString() const {
   std::string out = "{";
   char buf[64];

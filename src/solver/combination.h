@@ -63,6 +63,21 @@ class Combination {
                     size_t count, const BinProfile& profile,
                     DecompositionPlan* plan) const;
 
+  /// \brief Emits `blocks` consecutive perfect blocks of `lcm()` tasks
+  /// each, starting at `ids[offset]` -- the Algorithm 3 lines 12-15 bulk
+  /// path. Equivalent to calling `ExpandInto(ids, offset + b * lcm(),
+  /// lcm(), ...)` for b = 0..blocks-1 (placements appended in the same
+  /// order), but materializes the block's placement template (one
+  /// (cardinality, copies, begin) group list) once, bulk-reserves the
+  /// plan's placement storage for all blocks, and stamps the template with
+  /// id offsets instead of re-deriving group bounds per block.
+  ///
+  /// Returns the total incentive cost of the emitted bins
+  /// (`blocks * block_cost()` up to rounding of the per-bin sum).
+  double ExpandBlocksInto(const std::vector<TaskId>& ids, size_t offset,
+                          uint64_t blocks, const BinProfile& profile,
+                          DecompositionPlan* plan) const;
+
   /// "{3 x b1, 2 x b2, 1 x b3} LCM=6 UC=0.56".
   std::string ToString() const;
 

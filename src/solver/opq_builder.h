@@ -52,11 +52,23 @@ class OptimalPriorityQueue {
 };
 
 /// \brief Statistics from the Algorithm 2 enumeration (used by the
-/// ablation benchmark to quantify the Lemma 1 pruning rule).
+/// ablation benchmark to quantify the Lemma 1 pruning rule and surfaced
+/// through OpqCache / `slade_cli batch --verbose`).
+///
+/// `nodes_visited` is the same counter the node budget is charged against,
+/// and it is filled even when the build fails with ResourceExhausted (it
+/// then reads node_budget + 1: the visit that tripped the budget).
 struct OpqBuildStats {
   uint64_t nodes_visited = 0;
   uint64_t nodes_pruned_dominated = 0;
   uint64_t insertions = 0;
+
+  /// Accumulates `other` into this (aggregation across many builds).
+  void Accumulate(const OpqBuildStats& other) {
+    nodes_visited += other.nodes_visited;
+    nodes_pruned_dominated += other.nodes_pruned_dominated;
+    insertions += other.insertions;
+  }
 };
 
 /// \brief Options for BuildOpq.
@@ -71,9 +83,30 @@ struct OpqBuildOptions {
 /// \brief Runs the Algorithm 2 depth-first enumeration with Lemma 1
 /// dominance pruning and returns the optimal priority queue for reliability
 /// threshold `t` (0 < t < 1).
+///
+/// This is the production builder: an iterative DFS over an explicit frame
+/// stack (no recursion, so adversarially deep profiles cannot blow the call
+/// stack) that mutates one in-place count array with push/pop deltas and
+/// reads the profile through BinProfile's flat SoA views. The Pareto
+/// frontier is kept sorted by LCM descending / unit cost ascending, so the
+/// dominance test is a binary search and an insertion evicts a contiguous
+/// range. The visited-node inner loop performs no heap allocation; only
+/// frontier insertions (rare, counted in OpqBuildStats::insertions) and
+/// one-off setup allocate.
 Result<OptimalPriorityQueue> BuildOpq(const BinProfile& profile, double t,
                                       const OpqBuildOptions& options = {},
                                       OpqBuildStats* stats = nullptr);
+
+/// \brief The original recursive Algorithm 2 enumerator, kept verbatim as a
+/// differential-test / ablation reference. Produces an element-for-element
+/// identical queue (same counts, LCM, unit-cost order -- pinned by
+/// opq_builder_differential_test) but heap-copies the candidate count
+/// vector on every visited node and scans the queue linearly for
+/// dominance, so it is many times slower and can exhaust the call stack on
+/// profiles with tiny log-weights. Not for production use.
+Result<OptimalPriorityQueue> BuildOpqReference(
+    const BinProfile& profile, double t, const OpqBuildOptions& options = {},
+    OpqBuildStats* stats = nullptr);
 
 }  // namespace slade
 

@@ -38,11 +38,10 @@ Status RunOpqAssignment(const OptimalPriorityQueue& queue,
       pos += take;
       n = 0;
     } else {
-      // Lines 12-15: k perfect blocks of the front combination.
-      for (uint64_t block = 0; block < k; ++block) {
-        e.ExpandInto(ids, pos, static_cast<size_t>(e.lcm()), profile, plan);
-        pos += static_cast<size_t>(e.lcm());
-      }
+      // Lines 12-15: k perfect blocks of the front combination, stamped
+      // from one materialized placement template (see ExpandBlocksInto).
+      e.ExpandBlocksInto(ids, pos, k, profile, plan);
+      pos += static_cast<size_t>(k * e.lcm());
       n %= e.lcm();
       prev = &e;
       cost_prev = e.block_cost();

@@ -90,6 +90,48 @@ TEST(CombinationTest, ExpandRespectsOffset) {
   EXPECT_EQ(plan.placements()[1].tasks[0], 8u);
 }
 
+TEST(CombinationTest, ExpandBlocksMatchesRepeatedExpand) {
+  // The Algorithm 3 bulk path must be placement-for-placement identical to
+  // expanding one full block at a time.
+  const BinProfile profile = BinProfile::PaperExample();
+  auto comb = Combination::Create({{1, 3}, {2, 2}, {3, 1}}, profile);
+  ASSERT_TRUE(comb.ok());
+  const size_t lcm = static_cast<size_t>(comb->lcm());
+  const uint64_t blocks = 4;
+  std::vector<TaskId> ids(lcm * blocks + 3);
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<TaskId>(i);
+
+  DecompositionPlan bulk, looped;
+  const size_t offset = 3;  // stamping must respect the starting offset
+  const double bulk_cost =
+      comb->ExpandBlocksInto(ids, offset, blocks, profile, &bulk);
+  double looped_cost = 0.0;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    looped_cost +=
+        comb->ExpandInto(ids, offset + b * lcm, lcm, profile, &looped);
+  }
+  EXPECT_NEAR(bulk_cost, looped_cost, 1e-9);
+  EXPECT_NEAR(bulk_cost, static_cast<double>(blocks) * comb->block_cost(),
+              1e-9);
+  ASSERT_EQ(bulk.placements().size(), looped.placements().size());
+  for (size_t i = 0; i < bulk.placements().size(); ++i) {
+    EXPECT_EQ(bulk.placements()[i].cardinality,
+              looped.placements()[i].cardinality) << i;
+    EXPECT_EQ(bulk.placements()[i].copies, looped.placements()[i].copies)
+        << i;
+    EXPECT_EQ(bulk.placements()[i].tasks, looped.placements()[i].tasks) << i;
+  }
+}
+
+TEST(CombinationTest, ExpandZeroBlocksIsANoop) {
+  const BinProfile profile = BinProfile::PaperExample();
+  auto comb = Combination::Create({{2, 1}}, profile);
+  std::vector<TaskId> ids = {0, 1};
+  DecompositionPlan plan;
+  EXPECT_EQ(comb->ExpandBlocksInto(ids, 0, 0, profile, &plan), 0.0);
+  EXPECT_TRUE(plan.empty());
+}
+
 TEST(CombinationTest, ToStringFormat) {
   const BinProfile profile = BinProfile::PaperExample();
   auto comb = Combination::Create({{3, 2}}, profile);

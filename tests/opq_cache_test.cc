@@ -68,6 +68,43 @@ TEST(OpqCacheTest, CachedQueueProducesSamePlanAsFreshBuild) {
             from_fresh.BinCounts(profile.max_cardinality()));
 }
 
+TEST(OpqCacheTest, AggregatesBuildStatsAcrossMisses) {
+  OpqCache cache;
+  auto profile = BinProfile::PaperExample();
+  OpqBuildStats direct_90, direct_95;
+  ASSERT_TRUE(BuildOpq(profile, 0.90, {}, &direct_90).ok());
+  ASSERT_TRUE(BuildOpq(profile, 0.95, {}, &direct_95).ok());
+
+  ASSERT_TRUE(cache.GetOrBuild(profile, 0.90).ok());
+  ASSERT_TRUE(cache.GetOrBuild(profile, 0.95).ok());
+  ASSERT_TRUE(cache.GetOrBuild(profile, 0.90).ok());  // hit: no new build
+
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.builds, 2u);
+  EXPECT_EQ(stats.build_stats.nodes_visited,
+            direct_90.nodes_visited + direct_95.nodes_visited);
+  EXPECT_EQ(stats.build_stats.insertions,
+            direct_90.insertions + direct_95.insertions);
+  EXPECT_GE(stats.build_seconds, 0.0);
+
+  // ResetStats zeroes the build aggregates; entries stay resident.
+  cache.ResetStats();
+  stats = cache.stats();
+  EXPECT_EQ(stats.builds, 0u);
+  EXPECT_EQ(stats.build_stats.nodes_visited, 0u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Clear keeps lifetime counters: a rebuild after Clear accumulates on
+  // top of whatever ResetStats left.
+  ASSERT_TRUE(cache.GetOrBuild(profile, 0.90).ok());  // still a hit
+  EXPECT_EQ(cache.stats().builds, 0u);
+  cache.Clear();
+  ASSERT_TRUE(cache.GetOrBuild(profile, 0.90).ok());  // rebuild
+  stats = cache.stats();
+  EXPECT_EQ(stats.builds, 1u);
+  EXPECT_EQ(stats.build_stats.nodes_visited, direct_90.nodes_visited);
+}
+
 TEST(OpqCacheTest, DistinctProfilesGetDistinctEntries) {
   OpqCache cache;
   auto jelly = BuildProfile(JellyModel(), 10);

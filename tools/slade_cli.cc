@@ -18,10 +18,14 @@
 //   slade_cli batch    --profile F --workload W.csv [--threads K]
 //                      [--mode engine|sequential] [--sharing pooled|isolated]
 //                      [--cache-max-bytes B] [--cache-max-entries N]
-//                      [--cache-shards S] [--out PLAN.csv]
+//                      [--cache-shards S] [--node-budget N] [--verbose]
+//                      [--out PLAN.csv]
 //       Decompose a whole batch of crowdsourcing tasks (CSV rows
 //       `task,threshold`) with the sharded parallel engine, or the
-//       sequential per-task reference loop for comparison.
+//       sequential per-task reference loop for comparison. --node-budget
+//       caps each Algorithm 2 enumeration (both modes); --verbose prints
+//       the aggregate OPQ build cost (nodes visited/pruned, insertions,
+//       build time) in engine mode.
 //
 //   slade_cli stream   --profile F --workload TIMED.csv [--threads K]
 //                      [--max-pending-atomic N] [--max-pending-submissions N]
@@ -90,7 +94,7 @@ int Usage() {
       "[--sharing pooled|isolated]\n"
       "                     [--cache-max-bytes B] [--cache-max-entries N]"
       " [--cache-shards S]\n"
-      "                     [--out FILE]\n"
+      "                     [--node-budget N] [--verbose] [--out FILE]\n"
       "  slade_cli stream   --profile FILE --workload FILE [--threads K]\n"
       "                     [--max-pending-atomic N] "
       "[--max-pending-submissions N]\n"
@@ -103,16 +107,20 @@ int Usage() {
   return 2;
 }
 
-// Parses --key value pairs after the subcommand.
+// Parses --key value pairs after the subcommand. A handful of boolean
+// flags take no value and parse to "1".
 std::optional<std::map<std::string, std::string>> ParseFlags(
     int argc, char** argv, int start) {
   std::map<std::string, std::string> flags;
-  for (int i = start; i < argc; i += 2) {
+  for (int i = start; i < argc; ++i) {
     const char* key = argv[i];
-    if (std::strncmp(key, "--", 2) != 0 || i + 1 >= argc) {
-      return std::nullopt;
+    if (std::strncmp(key, "--", 2) != 0) return std::nullopt;
+    if (std::strcmp(key, "--verbose") == 0) {
+      flags["verbose"] = "1";
+      continue;
     }
-    flags[key + 2] = argv[i + 1];
+    if (i + 1 >= argc) return std::nullopt;
+    flags[key + 2] = argv[++i];
   }
   return flags;
 }
@@ -346,10 +354,15 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
 
   const std::string mode =
       flags.count("mode") ? flags.at("mode") : "engine";
+  uint64_t node_budget = EngineOptions{}.opq_node_budget;
+  if (!ParseUintFlag(flags, "node-budget", &node_budget)) return 1;
+  if (node_budget == 0) return Fail("--node-budget must be >= 1");
+  const bool verbose = flags.count("verbose") != 0;
   Result<BatchReport> report = Status::Internal("unreachable");
   std::string cache_line;
   if (mode == "engine") {
     EngineOptions options;
+    options.opq_node_budget = node_budget;
     if (!ParseThreadsFlag(flags, &options.num_threads)) return 1;
     if (!ParseSharingFlag(flags, &options.sharing)) return 1;
     if (!ParseResourceFlags(flags, &options.resources)) return 1;
@@ -358,7 +371,7 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
                 BatchSharingName(options.sharing));
     report = engine.SolveBatch(*tasks, *profile);
     const CacheStats cache_stats = engine.cache().stats();
-    char buf[160];
+    char buf[320];
     std::snprintf(buf, sizeof(buf),
                   "opq cache: %.1f%% hit rate, %llu evictions, %llu bytes "
                   "resident\n",
@@ -366,8 +379,31 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
                   static_cast<unsigned long long>(cache_stats.evictions),
                   static_cast<unsigned long long>(cache_stats.bytes));
     cache_line = buf;
+    if (verbose) {
+      std::snprintf(
+          buf, sizeof(buf),
+          "opq builds: %llu enumerations, %llu nodes visited, "
+          "%llu pruned, %llu insertions, %.4f s build time "
+          "(node budget %llu)\n",
+          static_cast<unsigned long long>(cache_stats.builds),
+          static_cast<unsigned long long>(
+              cache_stats.build_stats.nodes_visited),
+          static_cast<unsigned long long>(
+              cache_stats.build_stats.nodes_pruned_dominated),
+          static_cast<unsigned long long>(
+              cache_stats.build_stats.insertions),
+          cache_stats.build_seconds,
+          static_cast<unsigned long long>(node_budget));
+      cache_line += buf;
+    }
   } else if (mode == "sequential") {
-    report = SolveBatchSequential(*tasks, *profile);
+    if (verbose) {
+      std::printf("note: --verbose build stats are collected by the engine "
+                  "cache; the sequential reference loop reports none\n");
+    }
+    SolverOptions options;
+    options.opq_node_budget = node_budget;
+    report = SolveBatchSequential(*tasks, *profile, options);
   } else {
     return Fail("unknown mode: " + mode + " (want engine|sequential)");
   }
