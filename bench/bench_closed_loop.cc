@@ -1,0 +1,206 @@
+// Closed-loop serving soak: the full admit -> dispatch -> infer ->
+// re-decompose lifecycle (engine/closed_loop_engine.h) under fault
+// scenarios, each run twice -- max_rounds=1 (the no-retry baseline) and
+// max_rounds=3 (adaptive re-decomposition) -- so the table shows what the
+// adaptive loop buys in final accuracy and what it costs in extra billing.
+//
+// The full run soaks ~1M atomic tasks per scenario; `--smoke` (or
+// SLADE_BENCH_FAST) shrinks to a few thousand for CI. Emits
+// BENCH_closed_loop.json alongside the tables.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "engine/closed_loop_engine.h"
+#include "workload/threshold_gen.h"
+
+namespace {
+
+using namespace slade;
+
+/// `num_submissions` requester submissions of 1-2 crowdsourcing tasks
+/// each, sized so the workload totals ~`target_atomic` atomic tasks;
+/// thresholds ~ N(0.88, 0.04), ground truth Bernoulli(0.5). Built on the
+/// library RNG so every platform benches the same workload per seed.
+std::vector<ClosedLoopWorkload> MakeWorkloads(size_t num_submissions,
+                                              size_t target_atomic,
+                                              uint64_t seed) {
+  Xoshiro256 rng(seed);
+  ThresholdSpec spec;
+  spec.family = ThresholdFamily::kNormal;
+  spec.mu = 0.88;
+  spec.sigma = 0.04;
+
+  const size_t atomic_per_submission = target_atomic / num_submissions;
+  std::vector<ClosedLoopWorkload> workloads;
+  workloads.reserve(num_submissions);
+  for (size_t s = 0; s < num_submissions; ++s) {
+    ClosedLoopWorkload workload;
+    workload.requester = "r" + std::to_string(rng.NextBounded(8));
+    const size_t num_tasks = static_cast<size_t>(rng.NextInt(1, 2));
+    for (size_t k = 0; k < num_tasks; ++k) {
+      const size_t num_atomic =
+          std::max<size_t>(1, atomic_per_submission / num_tasks);
+      const uint64_t task_seed = rng.Next();
+      auto thresholds = GenerateThresholds(spec, num_atomic, task_seed);
+      auto task = CrowdsourcingTask::FromThresholds(
+          std::move(thresholds).ValueOrDie());
+      workload.tasks.push_back(std::move(task).ValueOrDie());
+    }
+    for (size_t k = 0; k < workload.num_atomic_tasks(); ++k) {
+      workload.ground_truth.push_back(rng.NextBernoulli(0.5));
+    }
+    workloads.push_back(std::move(workload));
+  }
+  return workloads;
+}
+
+struct Scenario {
+  const char* name;
+  double steady_spammers = 0.0;
+  FaultOptions faults;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = slade_bench::FastMode();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  std::cout << "Closed-loop serving soak: fault scenario x retry mode\n"
+               "(Jelly |B|=12, t_i ~ N(0.88, 0.04), Dawid-Skene inference, "
+               "1 dispatch thread;\n adaptive = up to 3 rounds of "
+               "re-decomposition, capped at 3x round-1 billing).\n";
+
+  const size_t num_submissions = smoke ? 48 : 2'000;
+  const size_t target_atomic = smoke ? 2'400 : 1'000'000;
+
+  auto profile = BuildProfile(MakeModel(DatasetKind::kJelly), 12);
+  if (!profile.ok()) {
+    std::cerr << "profile failed: " << profile.status().ToString() << "\n";
+    return 1;
+  }
+
+  // Bursts/outages/churn are sized in bin posts: roughly one bin per 2-3
+  // atomic tasks, so period ~ posts/8 gives several windows per round.
+  const uint64_t burst_period = std::max<uint64_t>(16, target_atomic / 24);
+  std::vector<Scenario> scenarios;
+  {
+    Scenario s;
+    s.name = "clean";
+    scenarios.push_back(s);
+    s = Scenario{};
+    s.name = "spammers35";
+    s.steady_spammers = 0.35;
+    scenarios.push_back(s);
+    s = Scenario{};
+    s.name = "spammer-burst";
+    s.faults.spammer_burst_period = burst_period;
+    s.faults.spammer_burst_length = burst_period / 2;
+    s.faults.spammer_burst_fraction = 0.8;
+    scenarios.push_back(s);
+    s = Scenario{};
+    s.name = "churn+stragglers";
+    s.steady_spammers = 0.2;
+    s.faults.churn_period = burst_period;
+    s.faults.straggler_fraction = 0.15;
+    s.faults.straggler_multiplier = 25.0;
+    scenarios.push_back(s);
+    s = Scenario{};
+    s.name = "outage";
+    s.steady_spammers = 0.2;
+    s.faults.outage_period = burst_period;
+    s.faults.outage_length = std::max<uint64_t>(2, burst_period / 8);
+    scenarios.push_back(s);
+  }
+
+  const auto workloads =
+      MakeWorkloads(num_submissions, target_atomic, /*seed=*/20190408);
+  size_t total_atomic = 0;
+  for (const ClosedLoopWorkload& w : workloads) {
+    total_atomic += w.num_atomic_tasks();
+  }
+  std::cout << workloads.size() << " submissions, " << total_atomic
+            << " atomic tasks per run\n\n";
+
+  slade_bench::BenchJsonWriter json("closed_loop");
+  TablePrinter table({"scenario", "mode", "rounds", "redecomposed",
+                      "answers", "accuracy", "under-conf", "billed",
+                      "platform", "wall s", "answers/s"});
+
+  for (const Scenario& scenario : scenarios) {
+    for (const bool adaptive : {false, true}) {
+      ClosedLoopOptions options;
+      options.platform.spammer_fraction = scenario.steady_spammers;
+      options.faults = scenario.faults;
+      options.inference = InferenceKind::kDawidSkene;
+      options.max_rounds = adaptive ? 3 : 1;
+      options.retry_cost_multiple = adaptive ? 3.0 : 0.0;
+      options.streaming.max_pending_submissions = 64;
+      options.streaming.max_delay_seconds = 10.0;  // size-driven flushes
+
+      Stopwatch wall;
+      ClosedLoopEngine engine(*profile, options);
+      auto report = engine.Run(workloads);
+      if (!report.ok()) {
+        std::cerr << scenario.name
+                  << " failed: " << report.status().ToString() << "\n";
+        return 1;
+      }
+      const double seconds = wall.ElapsedSeconds();
+      const double answers_per_second =
+          seconds > 0.0 ? static_cast<double>(report->total_answers) / seconds
+                        : 0.0;
+      const char* mode = adaptive ? "adaptive" : "no-retry";
+
+      table.AddRow({scenario.name, mode, std::to_string(report->rounds),
+                    std::to_string(report->redecomposed_atomic_tasks),
+                    std::to_string(report->total_answers),
+                    TablePrinter::FormatDouble(report->final_accuracy, 4),
+                    std::to_string(report->final_under_confident),
+                    TablePrinter::FormatDouble(report->billed_cost, 2),
+                    TablePrinter::FormatDouble(report->platform_cost, 2),
+                    TablePrinter::FormatDouble(seconds, 3),
+                    TablePrinter::FormatDouble(answers_per_second, 0)});
+
+      json.BeginRecord();
+      json.Field("scenario", std::string(scenario.name));
+      json.Field("mode", std::string(mode));
+      json.Field("atomic_tasks", static_cast<double>(total_atomic));
+      json.Field("rounds", static_cast<double>(report->rounds));
+      json.Field("redecomposed",
+                 static_cast<double>(report->redecomposed_atomic_tasks));
+      json.Field("answers", static_cast<double>(report->total_answers));
+      json.Field("bins", static_cast<double>(report->total_bins));
+      json.Field("dropped_bins",
+                 static_cast<double>(
+                     report->round_stats.empty()
+                         ? 0
+                         : [&] {
+                             uint64_t dropped = 0;
+                             for (const auto& r : report->round_stats) {
+                               dropped += r.dropped_bins;
+                             }
+                             return dropped;
+                           }()));
+      json.Field("accuracy", report->final_accuracy);
+      json.Field("under_confident",
+                 static_cast<double>(report->final_under_confident));
+      json.Field("billed_cost", report->billed_cost);
+      json.Field("platform_cost", report->platform_cost);
+      json.Field("wall_seconds", seconds);
+      json.Field("answers_per_second", answers_per_second);
+    }
+  }
+
+  table.Print(std::cout);
+  json.Write();
+  return 0;
+}

@@ -58,6 +58,24 @@ inline TimedSolve RunSolver(slade::Solver& solver,
 /// quick iteration during development.
 inline bool FastMode() { return std::getenv("SLADE_BENCH_FAST") != nullptr; }
 
+// Build provenance baked in by bench/CMakeLists.txt, stamped into every
+// emitted JSON so a BENCH_*.json artifact is self-describing (which
+// commit, compiler and build type produced it). Harmless defaults keep
+// ad-hoc compiles (no CMake definitions) working.
+#ifndef SLADE_GIT_SHA
+#define SLADE_GIT_SHA "unknown"
+#endif
+#ifndef SLADE_BUILD_TYPE
+#define SLADE_BUILD_TYPE "unknown"
+#endif
+#if defined(__clang__)
+#define SLADE_BENCH_COMPILER "clang " __clang_version__
+#elif defined(__GNUC__)
+#define SLADE_BENCH_COMPILER "gcc " __VERSION__
+#else
+#define SLADE_BENCH_COMPILER "unknown"
+#endif
+
 /// \brief Accumulates flat records and writes them as
 /// `BENCH_<name>.json` next to the human-readable tables, so the perf
 /// trajectory is machine-readable across PRs:
@@ -90,14 +108,20 @@ class BenchJsonWriter {
   std::string path() const { return "BENCH_" + name_ + ".json"; }
 
   /// Writes the JSON file; warns (but does not abort) on IO failure so a
-  /// read-only working directory never kills a benchmark run.
+  /// read-only working directory never kills a benchmark run. Provenance
+  /// lands in top-level keys (never inside records), so the trend tool's
+  /// record pairing is unaffected across commits and compilers.
   bool Write() const {
     std::ofstream out(path());
     if (!out) {
       std::cerr << "WARNING: cannot write " << path() << "\n";
       return false;
     }
-    out << "{\"bench\": \"" << Escape(name_) << "\", \"records\": [";
+    out << "{\"bench\": \"" << Escape(name_) << "\",\n"
+        << " \"git_sha\": \"" << Escape(SLADE_GIT_SHA) << "\","
+        << " \"compiler\": \"" << Escape(SLADE_BENCH_COMPILER) << "\","
+        << " \"build_type\": \"" << Escape(SLADE_BUILD_TYPE) << "\",\n"
+        << " \"records\": [";
     for (size_t i = 0; i < records_.size(); ++i) {
       out << (i ? ",\n  {" : "\n  {") << records_[i] << "}";
     }

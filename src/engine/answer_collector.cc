@@ -1,0 +1,141 @@
+#include "engine/answer_collector.h"
+
+#include <string>
+#include <utility>
+
+namespace slade {
+
+void AnswerCollector::Accept(std::vector<WorkerAnswer> answers, bool overtime,
+                             double cost) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.bins_posted;
+  if (overtime) ++stats_.overtime_bins;
+  stats_.answers += answers.size();
+  stats_.platform_cost += cost;
+  answers_.insert(answers_.end(), answers.begin(), answers.end());
+}
+
+void AnswerCollector::CountDroppedBin() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.dropped_bins;
+}
+
+void AnswerCollector::CountOutageRetry() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.outage_retries;
+}
+
+std::vector<WorkerAnswer> AnswerCollector::TakeAnswers() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<WorkerAnswer> out;
+  out.swap(answers_);
+  return out;
+}
+
+DispatchStats AnswerCollector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+SimulatedDispatcher::SimulatedDispatcher(Platform& platform,
+                                         const BinProfile& profile,
+                                         ThreadPool& pool,
+                                         FaultInjector* injector)
+    : platform_(platform),
+      profile_(profile),
+      pool_(pool),
+      injector_(injector) {}
+
+Status SimulatedDispatcher::Dispatch(const DecompositionPlan& plan,
+                                     std::vector<TaskId> global_of_local,
+                                     const std::vector<bool>& ground_truth,
+                                     AnswerCollector* collector) {
+  // Validate and pre-translate every placement before enqueueing anything,
+  // so a malformed plan never half-dispatches.
+  struct Job {
+    BinPlacement placement;   // tasks rewritten to global ids
+    std::vector<bool> truth;  // ground truth per contained task
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(plan.placements().size());
+  for (const BinPlacement& placement : plan.placements()) {
+    if (placement.tasks.empty()) continue;
+    Job job;
+    job.placement = placement;
+    job.truth.reserve(placement.tasks.size());
+    for (TaskId& id : job.placement.tasks) {
+      if (id >= global_of_local.size()) {
+        return Status::OutOfRange(
+            "placement references local task " + std::to_string(id) +
+            " but the mapping covers " +
+            std::to_string(global_of_local.size()));
+      }
+      id = global_of_local[id];
+      if (id >= ground_truth.size()) {
+        return Status::OutOfRange("mapped task " + std::to_string(id) +
+                                  " is outside the ground truth (n=" +
+                                  std::to_string(ground_truth.size()) + ")");
+      }
+      job.truth.push_back(ground_truth[id]);
+    }
+    jobs.push_back(std::move(job));
+  }
+  for (Job& job : jobs) {
+    auto shared = std::make_shared<Job>(std::move(job));
+    pool_.Submit([this, shared, collector] {
+      PostPlacementCopy(shared->placement, shared->placement.tasks,
+                        shared->truth, collector);
+    });
+  }
+  return Status::OK();
+}
+
+void SimulatedDispatcher::PostPlacementCopy(
+    const BinPlacement& placement, const std::vector<TaskId>& global_ids,
+    const std::vector<bool>& truth, AnswerCollector* collector) {
+  const TaskBin& bin = profile_.bin(placement.cardinality);
+  for (uint32_t copy = 0; copy < placement.copies; ++copy) {
+    BinOutcome outcome;
+    bool posted = false;
+    {
+      // One lock per posted copy: the injector verdict and the platform's
+      // RNG draws form one atomic step of the simulated marketplace.
+      std::lock_guard<std::mutex> lock(platform_mutex_);
+      for (int attempt = 0; attempt < kMaxPostAttempts; ++attempt) {
+        FaultInjector::Decision decision;
+        if (injector_ != nullptr) decision = injector_->NextBin();
+        if (decision.outage) {
+          collector->CountOutageRetry();
+          continue;
+        }
+        // A post the platform itself rejects (invalid bin) is a plan bug;
+        // it surfaces as a dropped bin rather than a crash mid-pool.
+        Result<BinOutcome> result = platform_.PostBin(
+            placement.cardinality, bin.cost, truth, /*assignments=*/1,
+            decision.context);
+        if (result.ok()) {
+          outcome = std::move(*result);
+          posted = true;
+        }
+        break;
+      }
+    }
+    if (!posted) {
+      collector->CountDroppedBin();
+      continue;
+    }
+    const AssignmentOutcome& assignment = outcome.assignments.front();
+    std::vector<WorkerAnswer> answers;
+    answers.reserve(global_ids.size());
+    for (size_t k = 0; k < global_ids.size(); ++k) {
+      WorkerAnswer answer;
+      answer.worker = assignment.worker_id;
+      answer.task = global_ids[k];
+      answer.answer = assignment.answers[k];
+      answers.push_back(answer);
+    }
+    collector->Accept(std::move(answers), outcome.overtime, bin.cost);
+  }
+}
+
+}  // namespace slade

@@ -1,0 +1,192 @@
+// Copyright (c) the SLADE reproduction authors.
+//
+// Closed-loop platform serving: the full lifecycle the paper's SLADE model
+// plans for, executed end to end. Requester workloads are admitted through
+// StreamingEngine (micro-batching, OPQ cache, backpressure -- exactly the
+// serving path of PRs 1-4); the resulting per-requester plans are
+// dispatched to the simulated marketplace (engine/answer_collector.h over
+// simulator/platform.h, optionally perturbed by a FaultInjector); worker
+// answers stream back asynchronously and are aggregated by truth inference
+// (inference/truth_inference.h) into per-task posteriors; and tasks whose
+// posterior confidence falls short of their reliability threshold are
+// *re-decomposed* -- a residual crowdsourcing task is built for exactly
+// the missing reliability and resubmitted through the same admission path,
+// backpressure included -- until every task is confident, the round budget
+// runs out, or a retry budget trips.
+//
+// Residual thresholds. A task with threshold t whose current posterior
+// says its inferred label is correct with probability c < t still needs
+// enough fresh evidence r so that the combined failure probability
+// (1-c)(1-r) drops below 1-t; in the paper's log domain (Equation 2) that
+// is simply theta_res = theta(t) - theta(c). Tasks that never received an
+// answer (dropped bins, backpressure-rejected submissions) carry their
+// full threshold into the next round. This is the closed-loop analogue of
+// the residual planning in adaptive/adaptive_decomposer.h, driven by
+// inferred truth instead of recalibrated confidences, so it also repairs
+// faults the bin profile cannot see (spammer bursts, churn, outages).
+//
+// Determinism: with dispatch_threads == 1 a run is a pure function of
+// (workloads, profile, options) -- the differential tests pin the no-fault
+// round-1 plans and billed costs to plain StreamingEngine output. With
+// more dispatch threads, answer arrival order (and hence the platform's
+// RNG interleaving) varies, as on a real marketplace.
+
+#ifndef SLADE_ENGINE_CLOSED_LOOP_ENGINE_H_
+#define SLADE_ENGINE_CLOSED_LOOP_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "binmodel/task.h"
+#include "binmodel/task_bin.h"
+#include "common/result.h"
+#include "engine/plan_splitter.h"
+#include "engine/streaming_engine.h"
+#include "inference/truth_inference.h"
+#include "simulator/fault_injector.h"
+#include "simulator/platform.h"
+
+namespace slade {
+
+/// \brief Truth-inference aggregator used between rounds.
+enum class InferenceKind {
+  kMajorityVote,
+  kDawidSkene,
+};
+
+const char* InferenceKindName(InferenceKind kind);
+
+/// \brief Knobs for the closed loop.
+struct ClosedLoopOptions {
+  /// Admission path: flush policy, sharing, queue bounds, backpressure and
+  /// OPQ cache limits all apply unchanged. kIsolated (the default) keeps
+  /// round-1 plans identical to standalone OPQ-Extended solves.
+  StreamingOptions streaming;
+  /// The simulated marketplace the plans execute on.
+  PlatformConfig platform;
+  /// Fault scenario; all-default injects nothing.
+  FaultOptions faults;
+  InferenceKind inference = InferenceKind::kDawidSkene;
+  DawidSkeneOptions dawid_skene;
+  /// Rounds >= 1. Round 1 executes the original workloads; each further
+  /// round re-decomposes only the under-confident residue. 1 = the
+  /// no-retry baseline.
+  uint32_t max_rounds = 3;
+  /// Marketplace parallelism for bin posting (1 = fully deterministic).
+  uint32_t dispatch_threads = 1;
+  /// Retry budgets; 0 = unbounded. The loop stops re-decomposing (and
+  /// reports budget_stopped) when either trips:
+  /// cap on total re-decomposed atomic tasks across all retry rounds...
+  uint64_t max_redecomposed_atomic_tasks = 0;
+  /// ...or cap on total billed cost as a multiple of round-1 billed cost.
+  double retry_cost_multiple = 0.0;
+  /// Floor for residual thresholds (keeps FromThresholds valid and retry
+  /// plans non-trivial).
+  double min_residual_threshold = 0.05;
+  /// Posterior-confidence clamp for the residual computation: evidence
+  /// beyond this is not trusted (theta(c) -> inf as c -> 1).
+  double max_posterior_confidence = 0.98;
+  /// Record every round's delivered RequesterPlan slices in the report
+  /// (differential tests; costs memory on large runs).
+  bool keep_round_plans = false;
+};
+
+/// \brief One requester's workload plus the ground truth that drives the
+/// simulator (concatenated over `tasks` in order; the loop never reads it
+/// for inference or re-decomposition, only for posting bins and scoring
+/// the final accuracy).
+struct ClosedLoopWorkload {
+  std::string requester;
+  std::vector<CrowdsourcingTask> tasks;
+  std::vector<bool> ground_truth;
+
+  size_t num_atomic_tasks() const {
+    size_t n = 0;
+    for (const CrowdsourcingTask& t : tasks) n += t.size();
+    return n;
+  }
+};
+
+/// \brief Per-round bookkeeping. Inference metrics are cumulative (the
+/// aggregator always sees every answer collected so far); dispatch and
+/// cost metrics are the round's own.
+struct ClosedLoopRoundStats {
+  uint32_t round = 1;
+  /// Submissions admitted this round.
+  uint64_t submissions = 0;
+  /// Submissions backpressure failed (their tasks stay unanswered).
+  uint64_t rejected_submissions = 0;
+  /// Atomic tasks submitted this round.
+  uint64_t atomic_tasks = 0;
+  uint64_t bins_posted = 0;
+  /// Posts abandoned after repeated outage verdicts.
+  uint64_t dropped_bins = 0;
+  uint64_t outage_retries = 0;
+  uint64_t answers = 0;
+  double billed_cost = 0.0;    ///< sum of delivered slice costs
+  double platform_cost = 0.0;  ///< incentives actually paid this round
+  /// Label accuracy over answered tasks vs ground truth (cumulative).
+  double accuracy = 0.0;
+  /// Mean posterior confidence max(p, 1-p) over all tasks (unanswered
+  /// tasks sit at 0.5).
+  double mean_posterior_confidence = 0.0;
+  uint64_t under_confident_after = 0;
+  uint64_t unanswered_after = 0;
+  /// Workers the aggregator currently estimates below 60% accuracy.
+  uint64_t suspected_spammers = 0;
+  double dispatch_seconds = 0.0;
+  double inference_seconds = 0.0;
+};
+
+/// \brief Outcome of a closed-loop run.
+struct ClosedLoopReport {
+  uint32_t rounds = 0;
+  bool budget_stopped = false;
+  /// Atomic tasks re-decomposed across rounds 2+ (a task re-decomposed
+  /// twice counts twice).
+  uint64_t redecomposed_atomic_tasks = 0;
+  double billed_cost = 0.0;
+  double platform_cost = 0.0;
+  double final_accuracy = 0.0;
+  uint64_t final_under_confident = 0;
+  uint64_t total_answers = 0;
+  uint64_t total_bins = 0;
+  std::vector<ClosedLoopRoundStats> round_stats;
+  /// Final snapshots of the serving and fault layers.
+  StreamingStats streaming;
+  FaultStats faults;
+  /// Slices delivered per round (only when options.keep_round_plans);
+  /// round_plans[r] holds round r+1's slices in submission order.
+  std::vector<std::vector<RequesterPlan>> round_plans;
+
+  /// Human-readable multi-line summary (totals + per-round table).
+  std::string ToString() const;
+};
+
+/// \brief The closed-loop serving engine. Each Run() is self-contained:
+/// it builds a fresh platform, fault schedule and streaming engine from
+/// the options, so runs are independent and (with dispatch_threads == 1)
+/// reproducible.
+class ClosedLoopEngine {
+ public:
+  explicit ClosedLoopEngine(BinProfile profile,
+                            ClosedLoopOptions options = {});
+
+  /// Runs the loop over the workloads (one round-1 submission each).
+  /// Fails on empty input, a workload whose ground truth does not match
+  /// its tasks, or a non-transient serving error; backpressure rejections
+  /// and fault-dropped bins are outcomes, not errors.
+  Result<ClosedLoopReport> Run(
+      const std::vector<ClosedLoopWorkload>& workloads);
+
+  const ClosedLoopOptions& options() const { return options_; }
+
+ private:
+  const BinProfile profile_;
+  const ClosedLoopOptions options_;
+};
+
+}  // namespace slade
+
+#endif  // SLADE_ENGINE_CLOSED_LOOP_ENGINE_H_

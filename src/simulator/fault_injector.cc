@@ -1,0 +1,77 @@
+#include "simulator/fault_injector.h"
+
+#include <cstdio>
+
+namespace slade {
+
+std::string FaultOptions::ToString() const {
+  if (!any()) return "none";
+  std::string out;
+  char buf[96];
+  if (spammer_burst_period > 0) {
+    std::snprintf(buf, sizeof(buf), "spammer-burst %llu/%llu @%.2f ",
+                  static_cast<unsigned long long>(spammer_burst_length),
+                  static_cast<unsigned long long>(spammer_burst_period),
+                  spammer_burst_fraction);
+    out += buf;
+  }
+  if (churn_period > 0) {
+    std::snprintf(buf, sizeof(buf), "churn/%llu ",
+                  static_cast<unsigned long long>(churn_period));
+    out += buf;
+  }
+  if (straggler_fraction > 0.0) {
+    std::snprintf(buf, sizeof(buf), "stragglers %.2f x%.1f ",
+                  straggler_fraction, straggler_multiplier);
+    out += buf;
+  }
+  if (outage_period > 0) {
+    std::snprintf(buf, sizeof(buf), "outage %llu/%llu ",
+                  static_cast<unsigned long long>(outage_length),
+                  static_cast<unsigned long long>(outage_period));
+    out += buf;
+  }
+  out.pop_back();  // trailing space
+  return out;
+}
+
+FaultInjector::FaultInjector(const FaultOptions& options)
+    : options_(options), straggler_rng_(options.seed) {}
+
+FaultInjector::Decision FaultInjector::NextBin() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t ordinal = attempt_++;
+  ++stats_.attempts;
+
+  Decision decision;
+  if (options_.outage_period > 0 &&
+      ordinal % options_.outage_period < options_.outage_length) {
+    decision.outage = true;
+    ++stats_.outages;
+    return decision;
+  }
+  if (options_.spammer_burst_period > 0 &&
+      ordinal % options_.spammer_burst_period <
+          options_.spammer_burst_length) {
+    decision.context.extra_spammer_fraction = options_.spammer_burst_fraction;
+    ++stats_.burst_posts;
+  }
+  if (options_.churn_period > 0) {
+    const uint64_t epoch = ordinal / options_.churn_period;
+    decision.context.worker_epoch = static_cast<uint32_t>(epoch);
+    stats_.churn_epochs = epoch;
+  }
+  if (options_.straggler_fraction > 0.0 &&
+      straggler_rng_.NextBernoulli(options_.straggler_fraction)) {
+    decision.context.latency_multiplier = options_.straggler_multiplier;
+    ++stats_.straggler_posts;
+  }
+  return decision;
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace slade

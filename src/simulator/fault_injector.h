@@ -1,0 +1,105 @@
+// Copyright (c) the SLADE reproduction authors.
+//
+// Deterministic fault injection for the simulated platform. Production
+// crowdsourcing marketplaces misbehave in ways the paper's model does not
+// capture: spam rings flood the worker pool for a while, the workforce
+// churns so previously learned worker reputations go stale, some HITs sit
+// unclaimed for hours (stragglers), and the platform itself has transient
+// outage windows. The injector turns those scenarios into a deterministic
+// per-bin schedule: every bin-post attempt asks NextBin() for its fate,
+// which is either "platform down" (the caller retries later; the attempt
+// still advances the schedule, so outage windows pass) or a BinPostContext
+// perturbing that one post (simulator/platform.h).
+//
+// Determinism: the schedule is a pure function of (options, attempt
+// ordinal), so a single-threaded dispatcher replays identically for a
+// given seed. Under a multi-threaded dispatcher the ordinal assignment
+// depends on thread interleaving, as on a real marketplace.
+
+#ifndef SLADE_SIMULATOR_FAULT_INJECTOR_H_
+#define SLADE_SIMULATOR_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/random.h"
+#include "simulator/platform.h"
+
+namespace slade {
+
+/// \brief Fault scenario knobs. All periods/lengths count bin-post
+/// attempts; a period of 0 disables that fault family. The defaults
+/// disable everything (an all-default FaultOptions injects nothing).
+struct FaultOptions {
+  /// Spammer bursts: in every window of `spammer_burst_period` attempts,
+  /// the first `spammer_burst_length` attempts see an extra
+  /// `spammer_burst_fraction` probability of a spammer answering.
+  uint64_t spammer_burst_period = 0;
+  uint64_t spammer_burst_length = 0;
+  double spammer_burst_fraction = 0.5;
+  /// Worker churn: the platform's worker-identity epoch advances every
+  /// `churn_period` attempts, replacing the entire simulated population.
+  uint64_t churn_period = 0;
+  /// Stragglers: each attempt independently has `straggler_fraction`
+  /// probability of a `straggler_multiplier`x completion-time stretch
+  /// (the dotted-line overtime regime of Figure 3).
+  double straggler_fraction = 0.0;
+  double straggler_multiplier = 20.0;
+  /// Transient platform outages: in every window of `outage_period`
+  /// attempts, the first `outage_length` attempts fail ("platform down").
+  uint64_t outage_period = 0;
+  uint64_t outage_length = 0;
+  /// Seeds the straggler coin; everything else is counter-driven.
+  uint64_t seed = 0x5EEDFA17ULL;
+
+  /// True iff any fault family is enabled.
+  bool any() const {
+    return spammer_burst_period > 0 || churn_period > 0 ||
+           straggler_fraction > 0.0 || outage_period > 0;
+  }
+
+  /// One-line human-readable summary ("none" when nothing is enabled).
+  std::string ToString() const;
+};
+
+/// \brief Lifetime counters, readable at any time via stats().
+struct FaultStats {
+  uint64_t attempts = 0;         ///< NextBin() calls
+  uint64_t outages = 0;          ///< attempts that hit an outage window
+  uint64_t burst_posts = 0;      ///< posts inside a spammer burst
+  uint64_t straggler_posts = 0;  ///< posts with stretched latency
+  uint64_t churn_epochs = 0;     ///< population replacements so far
+};
+
+/// \brief The fault schedule. Thread-safe: concurrent dispatcher threads
+/// may call NextBin(); each call consumes one attempt ordinal.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultOptions& options);
+
+  /// Fate of the next bin-post attempt.
+  struct Decision {
+    /// True: the platform is down for this attempt; the caller should
+    /// retry (a later attempt falls past the outage window). The context
+    /// is meaningless when set.
+    bool outage = false;
+    BinPostContext context;
+  };
+
+  Decision NextBin();
+
+  FaultStats stats() const;
+  const FaultOptions& options() const { return options_; }
+
+ private:
+  const FaultOptions options_;
+  mutable std::mutex mutex_;
+  uint64_t attempt_ = 0;
+  Xoshiro256 straggler_rng_;
+  FaultStats stats_;
+};
+
+}  // namespace slade
+
+#endif  // SLADE_SIMULATOR_FAULT_INJECTOR_H_

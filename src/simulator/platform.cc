@@ -30,9 +30,18 @@ double Platform::WorkerSkill(uint32_t id) const {
 
 Result<BinOutcome> Platform::PostBin(uint32_t cardinality, double bin_cost,
                                      const std::vector<bool>& ground_truth,
-                                     int assignments) {
+                                     int assignments,
+                                     const BinPostContext& context) {
   if (cardinality == 0) {
     return Status::InvalidArgument("bin cardinality must be >= 1");
+  }
+  if (!(context.latency_multiplier > 0.0)) {
+    return Status::InvalidArgument("latency multiplier must be positive");
+  }
+  if (context.extra_spammer_fraction < 0.0 ||
+      context.extra_spammer_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "extra spammer fraction must be in [0, 1]");
   }
   if (ground_truth.empty() || ground_truth.size() > cardinality) {
     return Status::InvalidArgument(
@@ -68,10 +77,18 @@ Result<BinOutcome> Platform::PostBin(uint32_t cardinality, double bin_cost,
     clock += -std::log(u) / per_assignment_rate;
 
     AssignmentOutcome assignment;
-    assignment.worker_id =
-        static_cast<uint32_t>(rng_.NextBounded(config_.population));
+    // Churn salts the identity space: epoch e draws from worker ids
+    // [e * population, (e+1) * population), so skills, steady-state
+    // spammer membership and the ids seen by truth inference all
+    // reshuffle when the epoch advances.
+    assignment.worker_id = static_cast<uint32_t>(
+        static_cast<uint64_t>(context.worker_epoch) * config_.population +
+        rng_.NextBounded(config_.population));
     assignment.answers.reserve(ground_truth.size());
-    if (IsSpammer(assignment.worker_id)) {
+    const bool burst_spammer =
+        context.extra_spammer_fraction > 0.0 &&
+        rng_.NextBernoulli(context.extra_spammer_fraction);
+    if (burst_spammer || IsSpammer(assignment.worker_id)) {
       // Spammers click through without reading the task.
       for (size_t k = 0; k < ground_truth.size(); ++k) {
         assignment.answers.push_back(rng_.NextBernoulli(0.5));
@@ -89,8 +106,8 @@ Result<BinOutcome> Platform::PostBin(uint32_t cardinality, double bin_cost,
     // Workers are paid on submission regardless of timeliness.
     total_spent_ += bin_cost;
   }
-  outcome.completion_minutes = clock;
-  outcome.overtime = clock > model.timeout_minutes;
+  outcome.completion_minutes = clock * context.latency_multiplier;
+  outcome.overtime = outcome.completion_minutes > model.timeout_minutes;
   ++bins_posted_;
   return outcome;
 }

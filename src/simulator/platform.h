@@ -40,6 +40,25 @@ struct PlatformConfig {
   double spammer_fraction = 0.0;
 };
 
+/// \brief Per-post modifiers, used by the fault-injection layer
+/// (simulator/fault_injector.h) to perturb one bin post without touching
+/// the platform's steady-state configuration. The default context
+/// reproduces the unperturbed platform exactly.
+struct BinPostContext {
+  /// Probability that this post's worker spams (answers uniformly at
+  /// random) *in addition* to the steady-state spammer population --
+  /// models a transient burst of bad actors flooding the marketplace.
+  double extra_spammer_fraction = 0.0;
+  /// Multiplies the completion time of this post (straggler injection);
+  /// overtime is judged on the stretched clock.
+  double latency_multiplier = 1.0;
+  /// Worker-churn epoch: workers are drawn from an identity space salted
+  /// by the epoch, so advancing it replaces the entire population (skills,
+  /// spammer membership and worker ids all reshuffle). Epoch 0 is the
+  /// original population.
+  uint32_t worker_epoch = 0;
+};
+
 /// \brief Outcome of collecting one assignment (one worker's pass over a
 /// posted bin).
 struct AssignmentOutcome {
@@ -66,10 +85,12 @@ class Platform {
   /// Posts one bin of `cardinality` at incentive `bin_cost` whose atomic
   /// tasks have the given ground-truth labels, and collects `assignments`
   /// worker passes. `ground_truth.size()` must be between 1 and
-  /// `cardinality`.
+  /// `cardinality`. `context` perturbs this post only (fault injection);
+  /// the default context is the unperturbed platform.
   Result<BinOutcome> PostBin(uint32_t cardinality, double bin_cost,
                              const std::vector<bool>& ground_truth,
-                             int assignments);
+                             int assignments,
+                             const BinPostContext& context = {});
 
   /// Expected per-task answer accuracy the simulator would exhibit for
   /// this (cardinality, cost) -- the analytic model value, exposed so

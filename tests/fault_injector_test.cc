@@ -1,0 +1,163 @@
+#include "simulator/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "simulator/platform.h"
+
+namespace slade {
+namespace {
+
+TEST(FaultInjectorTest, AllDefaultInjectsNothing) {
+  FaultOptions options;
+  EXPECT_FALSE(options.any());
+  EXPECT_EQ(options.ToString(), "none");
+  FaultInjector injector(options);
+  for (int i = 0; i < 100; ++i) {
+    FaultInjector::Decision d = injector.NextBin();
+    EXPECT_FALSE(d.outage);
+    EXPECT_EQ(d.context.extra_spammer_fraction, 0.0);
+    EXPECT_EQ(d.context.latency_multiplier, 1.0);
+    EXPECT_EQ(d.context.worker_epoch, 0u);
+  }
+  const FaultStats stats = injector.stats();
+  EXPECT_EQ(stats.attempts, 100u);
+  EXPECT_EQ(stats.outages, 0u);
+  EXPECT_EQ(stats.burst_posts, 0u);
+  EXPECT_EQ(stats.straggler_posts, 0u);
+}
+
+TEST(FaultInjectorTest, OutageWindowsFollowTheSchedule) {
+  FaultOptions options;
+  options.outage_period = 10;
+  options.outage_length = 3;
+  EXPECT_TRUE(options.any());
+  FaultInjector injector(options);
+  for (uint64_t ordinal = 0; ordinal < 40; ++ordinal) {
+    FaultInjector::Decision d = injector.NextBin();
+    EXPECT_EQ(d.outage, ordinal % 10 < 3) << "ordinal " << ordinal;
+  }
+  EXPECT_EQ(injector.stats().outages, 12u);
+}
+
+TEST(FaultInjectorTest, SpammerBurstWindowsFollowTheSchedule) {
+  FaultOptions options;
+  options.spammer_burst_period = 8;
+  options.spammer_burst_length = 2;
+  options.spammer_burst_fraction = 0.7;
+  FaultInjector injector(options);
+  for (uint64_t ordinal = 0; ordinal < 32; ++ordinal) {
+    FaultInjector::Decision d = injector.NextBin();
+    EXPECT_FALSE(d.outage);
+    const double expected = ordinal % 8 < 2 ? 0.7 : 0.0;
+    EXPECT_EQ(d.context.extra_spammer_fraction, expected)
+        << "ordinal " << ordinal;
+  }
+  EXPECT_EQ(injector.stats().burst_posts, 8u);
+}
+
+TEST(FaultInjectorTest, ChurnAdvancesTheWorkerEpoch) {
+  FaultOptions options;
+  options.churn_period = 5;
+  FaultInjector injector(options);
+  for (uint64_t ordinal = 0; ordinal < 23; ++ordinal) {
+    FaultInjector::Decision d = injector.NextBin();
+    EXPECT_EQ(d.context.worker_epoch, ordinal / 5) << "ordinal " << ordinal;
+  }
+  EXPECT_EQ(injector.stats().churn_epochs, 4u);
+}
+
+TEST(FaultInjectorTest, StragglersAreDeterministicPerSeed) {
+  FaultOptions options;
+  options.straggler_fraction = 0.3;
+  options.straggler_multiplier = 15.0;
+  options.seed = 99;
+  FaultInjector a(options);
+  FaultInjector b(options);
+  uint64_t stragglers = 0;
+  for (int i = 0; i < 500; ++i) {
+    FaultInjector::Decision da = a.NextBin();
+    FaultInjector::Decision db = b.NextBin();
+    EXPECT_EQ(da.context.latency_multiplier, db.context.latency_multiplier);
+    if (da.context.latency_multiplier > 1.0) {
+      EXPECT_EQ(da.context.latency_multiplier, 15.0);
+      ++stragglers;
+    }
+  }
+  // ~30% of 500; a wide band keeps the test seed-robust.
+  EXPECT_GT(stragglers, 100u);
+  EXPECT_LT(stragglers, 220u);
+  EXPECT_EQ(a.stats().straggler_posts, stragglers);
+}
+
+TEST(FaultInjectorTest, ToStringSummarizesEnabledFamilies) {
+  FaultOptions options;
+  options.spammer_burst_period = 10;
+  options.spammer_burst_length = 4;
+  options.outage_period = 20;
+  options.outage_length = 2;
+  const std::string s = options.ToString();
+  EXPECT_NE(s.find("spammer-burst 4/10"), std::string::npos) << s;
+  EXPECT_NE(s.find("outage 2/20"), std::string::npos) << s;
+  EXPECT_EQ(s.find("churn"), std::string::npos) << s;
+}
+
+TEST(FaultInjectorTest, WorkerEpochSaltsThePlatformIdentitySpace) {
+  PlatformConfig config;
+  config.model = MakeModel(DatasetKind::kJelly);
+  config.population = 1000;
+  config.seed = 5;
+  Platform platform(config);
+  const std::vector<bool> truth = {true, false, true};
+
+  BinPostContext context;
+  context.worker_epoch = 3;
+  for (int i = 0; i < 20; ++i) {
+    auto outcome = platform.PostBin(4, 0.05, truth, 1, context);
+    ASSERT_TRUE(outcome.ok());
+    const uint32_t id = outcome->assignments.front().worker_id;
+    EXPECT_GE(id, 3u * 1000u);
+    EXPECT_LT(id, 4u * 1000u);
+  }
+  // Epoch 0 (the default context) stays in the original id range.
+  auto outcome = platform.PostBin(4, 0.05, truth, 1);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_LT(outcome->assignments.front().worker_id, 1000u);
+}
+
+TEST(FaultInjectorTest, PlatformRejectsInvalidContext) {
+  PlatformConfig config;
+  config.model = MakeModel(DatasetKind::kJelly);
+  Platform platform(config);
+  const std::vector<bool> truth = {true};
+
+  BinPostContext bad_latency;
+  bad_latency.latency_multiplier = 0.0;
+  EXPECT_FALSE(platform.PostBin(2, 0.05, truth, 1, bad_latency).ok());
+
+  BinPostContext bad_fraction;
+  bad_fraction.extra_spammer_fraction = 1.5;
+  EXPECT_FALSE(platform.PostBin(2, 0.05, truth, 1, bad_fraction).ok());
+}
+
+TEST(FaultInjectorTest, StragglerLatencyStretchesCompletionTime) {
+  PlatformConfig config;
+  config.model = MakeModel(DatasetKind::kJelly);
+  config.seed = 11;
+  const std::vector<bool> truth = {true, false};
+
+  // Two identically seeded platforms: one post stretched, one not. The
+  // stretched completion must be exactly the multiplier times the base.
+  Platform base(config);
+  Platform stretched(config);
+  BinPostContext slow;
+  slow.latency_multiplier = 40.0;
+  auto base_outcome = base.PostBin(4, 0.05, truth, 1);
+  auto slow_outcome = stretched.PostBin(4, 0.05, truth, 1, slow);
+  ASSERT_TRUE(base_outcome.ok());
+  ASSERT_TRUE(slow_outcome.ok());
+  EXPECT_NEAR(slow_outcome->completion_minutes,
+              base_outcome->completion_minutes * 40.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace slade

@@ -1,5 +1,8 @@
 #include "inference/truth_inference.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "common/random.h"
@@ -186,6 +189,111 @@ TEST(AgreeingPairsTest, SmallCases) {
   EXPECT_EQ(AgreeingPairs(3, 4), 3u);   // C(3,2)+C(1,2)
   EXPECT_EQ(AgreeingPairs(0, 1), 0u);   // no pair
   EXPECT_EQ(AgreeingPairs(5, 4), 0u);   // malformed input
+}
+
+// --- Edge cases the closed loop feeds the aggregators: spammer-majority
+// crowds, single-answer tasks and unanimously wrong answers must all
+// yield sane (finite, [0,1], not over-confident) posteriors.
+
+void ExpectSanePosteriors(const InferenceResult& result) {
+  for (double p : result.posterior) {
+    EXPECT_FALSE(std::isnan(p));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  for (const auto& [worker, accuracy] : result.worker_accuracy) {
+    (void)worker;
+    EXPECT_FALSE(std::isnan(accuracy));
+    EXPECT_GE(accuracy, 0.0);
+    EXPECT_LE(accuracy, 1.0);
+  }
+}
+
+TEST(DawidSkeneEdgeTest, SpammerMajorityStaysSane) {
+  // 2 honest workers vs 5 coin-flip spammers over 40 tasks.
+  const size_t n = 40;
+  std::vector<bool> truth;
+  Xoshiro256 rng(21);
+  for (size_t i = 0; i < n; ++i) truth.push_back(rng.NextBernoulli(0.5));
+  std::vector<WorkerAnswer> answers;
+  for (TaskId t = 0; t < n; ++t) {
+    for (uint32_t w = 0; w < 2; ++w) {  // honest
+      answers.push_back(WorkerAnswer{w, t, truth[t]});
+    }
+    for (uint32_t w = 2; w < 7; ++w) {  // spammers
+      answers.push_back(WorkerAnswer{w, t, rng.NextBernoulli(0.5)});
+    }
+  }
+  auto result = DawidSkeneBinary(answers, n);
+  ASSERT_TRUE(result.ok());
+  ExpectSanePosteriors(*result);
+  // EM should still downweight the spammers: the honest workers' learned
+  // accuracy must dominate every spammer's.
+  double honest_min = 1.0, spammer_max = 0.0;
+  for (const auto& [worker, accuracy] : result->worker_accuracy) {
+    if (worker < 2) {
+      honest_min = std::min(honest_min, accuracy);
+    } else {
+      spammer_max = std::max(spammer_max, accuracy);
+    }
+  }
+  EXPECT_GT(honest_min, spammer_max);
+}
+
+TEST(DawidSkeneEdgeTest, SingleAnswerTasksAreNotOverConfident) {
+  // One answer per task: there is no agreement evidence at all, so no
+  // posterior may hit a degenerate 0/1 (accuracies are Beta-smoothed and
+  // clamped away from certainty).
+  std::vector<WorkerAnswer> answers;
+  for (TaskId t = 0; t < 12; ++t) {
+    answers.push_back(WorkerAnswer{t % 3, t, t % 2 == 0});
+  }
+  auto result = DawidSkeneBinary(answers, 12);
+  ASSERT_TRUE(result.ok());
+  ExpectSanePosteriors(*result);
+  for (double p : result->posterior) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST(DawidSkeneEdgeTest, UnanimousWrongAnswerStaysBounded) {
+  // 30 tasks answered correctly by 4 workers; task 30 answered wrongly by
+  // all 4 (a genuinely hard task). The posterior must be finite and the
+  // workers' accuracy must not be dragged to a degenerate value.
+  std::vector<WorkerAnswer> answers;
+  const size_t n = 31;
+  for (TaskId t = 0; t + 1 < n; ++t) {
+    for (uint32_t w = 0; w < 4; ++w) {
+      answers.push_back(WorkerAnswer{w, t, true});
+    }
+  }
+  for (uint32_t w = 0; w < 4; ++w) {
+    answers.push_back(
+        WorkerAnswer{w, static_cast<TaskId>(n - 1), false});
+  }
+  auto result = DawidSkeneBinary(answers, n);
+  ASSERT_TRUE(result.ok());
+  ExpectSanePosteriors(*result);
+  // The crowd was unanimous, so the label follows it -- confidently but
+  // not with certainty.
+  EXPECT_FALSE(result->labels[n - 1]);
+  EXPECT_LT(result->posterior[n - 1], 0.5);
+  EXPECT_GT(result->posterior[n - 1], 0.0);
+}
+
+TEST(MajorityVoteEdgeTest, SpammerMajorityAndSingleAnswersStaySane) {
+  std::vector<WorkerAnswer> answers;
+  Xoshiro256 rng(4);
+  for (TaskId t = 0; t < 20; ++t) {
+    const uint32_t voters = 1 + static_cast<uint32_t>(rng.NextBounded(5));
+    for (uint32_t w = 0; w < voters; ++w) {
+      answers.push_back(WorkerAnswer{w, t, rng.NextBernoulli(0.5)});
+    }
+  }
+  auto result = MajorityVote(answers, 20);
+  ASSERT_TRUE(result.ok());
+  ExpectSanePosteriors(*result);
 }
 
 TEST(LabelAccuracyTest, CountsOnlyAnsweredTasks) {

@@ -8,14 +8,16 @@ their string fields and prints a delta table, flagging regressions on
 metrics where bigger is worse (latency, wall time, eviction/rejected rates)
 and improvements where bigger is better (hit rate, throughput).
 
-Intended as a NON-BLOCKING CI step: exit code is always 0 unless --strict
-is given (then regressions beyond --threshold fail the step). CI timing is
-noisy, so the default threshold is generous; the value of the step is the
-printed trajectory across PRs, not a hard gate.
+Two gating knobs, independent of the --threshold report filter:
+  --strict            exit 1 on any regression beyond --threshold
+  --max-regress-pct P exit 1 only when a regression exceeds P percent --
+                      the blocking-CI mode: small drifts print, runaway
+                      regressions fail the PR. Pick P well above runner
+                      timing noise (the CI gate uses 200).
 
 Usage:
   tools/bench_trend.py [--fresh DIR] [--baseline DIR]
-                       [--threshold PCT] [--strict]
+                       [--threshold PCT] [--strict] [--max-regress-pct PCT]
 """
 
 import argparse
@@ -28,9 +30,9 @@ import sys
 # Substrings that classify a numeric field. Bigger-is-worse wins ties so a
 # hypothetical "latency_rate" is treated conservatively.
 WORSE_IF_BIGGER = ("latency", "seconds", "wall", "eviction", "rejected",
-                   "shed", "blocked", "bytes")
+                   "shed", "blocked", "bytes", "dropped")
 BETTER_IF_BIGGER = ("hit_rate", "per_second", "throughput", "delivered",
-                    "speedup")
+                    "speedup", "accuracy")
 
 
 def classify(field):
@@ -68,6 +70,9 @@ def main():
                         help="flag deltas beyond this percentage")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when any regression exceeds threshold")
+    parser.add_argument("--max-regress-pct", type=float, default=None,
+                        help="exit 1 when any regression exceeds this "
+                             "percentage (the blocking-CI gate)")
     args = parser.parse_args()
 
     baselines = sorted(glob.glob(os.path.join(args.baseline, "BENCH_*.json")))
@@ -78,6 +83,7 @@ def main():
 
     rows = []
     regressions = 0
+    blocking = []  # (bench, config, metric, delta_pct) beyond the gate
     compared_files = 0
     for baseline_path in baselines:
         fresh_path = os.path.join(args.fresh, os.path.basename(baseline_path))
@@ -128,6 +134,9 @@ def main():
                     verdict = "REGRESSION" if delta_pct < 0 else "improved"
                 if verdict == "REGRESSION":
                     regressions += 1
+                    if (args.max_regress_pct is not None
+                            and abs(delta_pct) > args.max_regress_pct):
+                        blocking.append((bench, config, field, delta_pct))
                 rows.append([bench, config, field, f"{base_value:.6g}",
                              f"{fresh_value:.6g}", f"{delta_pct:+.1f}%",
                              verdict])
@@ -146,8 +155,13 @@ def main():
     for row in rows:
         print(format_row(row, widths))
     print(f"\nbench_trend: {len(rows)} delta(s) beyond "
-          f"{args.threshold:.0f}%, {regressions} flagged as regressions "
-          f"(timing noise is expected in CI; this step is informational)")
+          f"{args.threshold:.0f}%, {regressions} flagged as regressions")
+    if blocking:
+        print(f"bench_trend: {len(blocking)} regression(s) exceed the "
+              f"blocking gate of {args.max_regress_pct:.0f}%:")
+        for bench, config, field, delta_pct in blocking:
+            print(f"  {bench} | {config} | {field}: {delta_pct:+.1f}%")
+        return 1
     if args.strict and regressions > 0:
         return 1
     return 0

@@ -44,6 +44,34 @@
 //       picks what happens to a submission that does not fit (rejected
 //       and shed submissions are reported, not fatal). All limits
 //       default to 0 = unbounded.
+//
+//   slade_cli serve-loop --dataset jelly|smic --workload TIMED.csv
+//                      [--max-cardinality M] [--rounds R]
+//                      [--inference majority|ds] [--dispatch-threads K]
+//                      [--positive-rate P] [--seed S] [--platform-seed S]
+//                      [--population N] [--skill-sigma S] [--spammers F]
+//                      [--spammer-burst P,L,F] [--churn-period N]
+//                      [--stragglers F,X] [--outage P,L] [--fault-seed S]
+//                      [--max-redecompositions N] [--retry-cost-multiple X]
+//                      [--threads K] [--max-pending-atomic N]
+//                      [--max-pending-submissions N] [--max-delay-ms D]
+//                      [--sharing isolated|pooled] [--cache-max-bytes B]
+//                      [--cache-max-entries N] [--cache-shards S]
+//                      [--queue-max-atomic N] [--queue-max-bytes B]
+//                      [--backpressure block|reject|shed-oldest]
+//       Run the closed loop end to end: the timed workload (arrival
+//       times are ignored; each row is one requester submission) is
+//       admitted through the streaming engine, plans execute on the
+//       simulated marketplace (ground truth drawn per atomic task with
+//       P(positive) = --positive-rate from --seed), answers feed truth
+//       inference, and under-confident tasks are re-decomposed for up
+//       to --rounds rounds. The dataset model drives both the bin
+//       profile (built internally at --max-cardinality) and the
+//       simulated workers, so planner and marketplace agree. The fault
+//       flags inject spammer bursts (every P posts, L posts long, extra
+//       fraction F), worker churn (new population every N posts),
+//       stragglers (fraction F at X times the latency) and platform
+//       outages (every P posts, L posts down).
 
 #include <chrono>
 #include <cstdio>
@@ -57,8 +85,10 @@
 #include <vector>
 
 #include "binmodel/profile_model.h"
+#include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
+#include "engine/closed_loop_engine.h"
 #include "engine/decomposition_engine.h"
 #include "engine/streaming_engine.h"
 #include "io/csv_reader.h"
@@ -103,7 +133,21 @@ int Usage() {
       "                     [--cache-max-bytes B] [--cache-max-entries N]"
       " [--cache-shards S]\n"
       "                     [--queue-max-atomic N] [--queue-max-bytes B]\n"
-      "                     [--backpressure block|reject|shed-oldest]\n";
+      "                     [--backpressure block|reject|shed-oldest]\n"
+      "  slade_cli serve-loop --dataset jelly|smic --workload FILE\n"
+      "                     [--max-cardinality M] [--rounds R] "
+      "[--inference majority|ds]\n"
+      "                     [--dispatch-threads K] [--positive-rate P] "
+      "[--seed S]\n"
+      "                     [--platform-seed S] [--population N] "
+      "[--skill-sigma S]\n"
+      "                     [--spammers F] [--spammer-burst P,L,F] "
+      "[--churn-period N]\n"
+      "                     [--stragglers F,X] [--outage P,L] "
+      "[--fault-seed S]\n"
+      "                     [--max-redecompositions N] "
+      "[--retry-cost-multiple X]\n"
+      "                     [+ the stream admission/backpressure flags]\n";
   return 2;
 }
 
@@ -172,6 +216,25 @@ bool ParseUintFlag(const std::map<std::string, std::string>& flags,
   if (!parsed.ok()) {
     Fail(std::string("--") + key + " expects a non-negative integer, got " +
          it->second);
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
+/// Parses one optional double flag constrained to [lo, hi]; prints the
+/// error and returns false on a bad value, leaves `*out` untouched when
+/// absent.
+bool ParseDoubleFlag(const std::map<std::string, std::string>& flags,
+                     const char* key, double lo, double hi, double* out) {
+  auto it = flags.find(key);
+  if (it == flags.end()) return true;
+  auto parsed = ParseDouble(it->second);
+  if (!parsed.ok() || *parsed < lo || *parsed > hi) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "--%s expects a number in [%g, %g], got ",
+                  key, lo, hi);
+    Fail(buf + it->second);
     return false;
   }
   *out = *parsed;
@@ -589,6 +652,196 @@ int CmdStream(const std::map<std::string, std::string>& flags) {
   return all_feasible ? 0 : 3;
 }
 
+int CmdServeLoop(const std::map<std::string, std::string>& flags) {
+  auto dataset = flags.find("dataset");
+  auto workload_flag = flags.find("workload");
+  if (dataset == flags.end() || workload_flag == flags.end()) return Usage();
+  DatasetKind kind;
+  if (dataset->second == "jelly") {
+    kind = DatasetKind::kJelly;
+  } else if (dataset->second == "smic") {
+    kind = DatasetKind::kSmic;
+  } else {
+    return Fail("unknown dataset: " + dataset->second);
+  }
+  uint64_t max_cardinality = 10;
+  if (!ParseUintFlag(flags, "max-cardinality", &max_cardinality)) return 1;
+  if (max_cardinality == 0 || max_cardinality > 64) {
+    return Fail("--max-cardinality expects an integer in [1, 64]");
+  }
+  // One model drives both the planner's bin profile and the simulated
+  // workers, so the loop's plans are calibrated to its marketplace.
+  const DatasetModel model = MakeModel(kind);
+  auto profile = BuildProfile(model, static_cast<uint32_t>(max_cardinality));
+  if (!profile.ok()) return Fail(profile.status().ToString());
+  auto submissions = LoadTimedWorkloadCsv(workload_flag->second);
+  if (!submissions.ok()) return Fail(submissions.status().ToString());
+  if (submissions->empty()) return Fail("workload is empty");
+
+  ClosedLoopOptions options;
+  options.platform.model = model;
+
+  // Loop shape.
+  uint64_t rounds = options.max_rounds;
+  uint64_t dispatch_threads = options.dispatch_threads;
+  if (!ParseUintFlag(flags, "rounds", &rounds) ||
+      !ParseUintFlag(flags, "dispatch-threads", &dispatch_threads) ||
+      !ParseUintFlag(flags, "max-redecompositions",
+                     &options.max_redecomposed_atomic_tasks)) {
+    return 1;
+  }
+  if (rounds == 0 || rounds > 64) {
+    return Fail("--rounds expects an integer in [1, 64]");
+  }
+  if (dispatch_threads == 0 || dispatch_threads > 1024) {
+    return Fail("--dispatch-threads expects an integer in [1, 1024]");
+  }
+  options.max_rounds = static_cast<uint32_t>(rounds);
+  options.dispatch_threads = static_cast<uint32_t>(dispatch_threads);
+  if (!ParseDoubleFlag(flags, "retry-cost-multiple", 0.0, 1e6,
+                       &options.retry_cost_multiple)) {
+    return 1;
+  }
+  if (auto it = flags.find("inference"); it != flags.end()) {
+    if (it->second == "majority") {
+      options.inference = InferenceKind::kMajorityVote;
+    } else if (it->second == "ds" || it->second == "dawid-skene") {
+      options.inference = InferenceKind::kDawidSkene;
+    } else {
+      return Fail("unknown inference: " + it->second + " (want majority|ds)");
+    }
+  }
+
+  // Marketplace steady state.
+  uint64_t population = options.platform.population;
+  if (!ParseUintFlag(flags, "platform-seed", &options.platform.seed) ||
+      !ParseUintFlag(flags, "population", &population) ||
+      !ParseDoubleFlag(flags, "skill-sigma", 0.0, 10.0,
+                       &options.platform.skill_sigma) ||
+      !ParseDoubleFlag(flags, "spammers", 0.0, 1.0,
+                       &options.platform.spammer_fraction)) {
+    return 1;
+  }
+  if (population == 0 || population > (1ull << 31)) {
+    return Fail("--population expects an integer in [1, 2^31]");
+  }
+  options.platform.population = static_cast<uint32_t>(population);
+
+  // Fault schedule.
+  if (auto it = flags.find("spammer-burst"); it != flags.end()) {
+    unsigned long long period = 0, length = 0;
+    double fraction = 0.0;
+    if (std::sscanf(it->second.c_str(), "%llu,%llu,%lf", &period, &length,
+                    &fraction) != 3 ||
+        period == 0 || length > period || fraction < 0.0 || fraction > 1.0) {
+      return Fail("--spammer-burst expects P,L,F with L <= P and F in [0,1]");
+    }
+    options.faults.spammer_burst_period = period;
+    options.faults.spammer_burst_length = length;
+    options.faults.spammer_burst_fraction = fraction;
+  }
+  if (auto it = flags.find("stragglers"); it != flags.end()) {
+    double fraction = 0.0, multiplier = 0.0;
+    if (std::sscanf(it->second.c_str(), "%lf,%lf", &fraction, &multiplier) !=
+            2 ||
+        fraction < 0.0 || fraction > 1.0 || multiplier <= 0.0) {
+      return Fail("--stragglers expects F,X with F in [0,1] and X > 0");
+    }
+    options.faults.straggler_fraction = fraction;
+    options.faults.straggler_multiplier = multiplier;
+  }
+  if (auto it = flags.find("outage"); it != flags.end()) {
+    unsigned long long period = 0, length = 0;
+    if (std::sscanf(it->second.c_str(), "%llu,%llu", &period, &length) != 2 ||
+        period == 0 || length > period) {
+      return Fail("--outage expects P,L with L <= P");
+    }
+    options.faults.outage_period = period;
+    options.faults.outage_length = length;
+  }
+  if (!ParseUintFlag(flags, "churn-period", &options.faults.churn_period) ||
+      !ParseUintFlag(flags, "fault-seed", &options.faults.seed)) {
+    return 1;
+  }
+
+  // Admission path: same flags as `stream`.
+  auto parse_size = [&](const char* key, size_t* out) -> bool {
+    uint64_t value = *out;
+    if (!ParseUintFlag(flags, key, &value)) return false;
+    *out = static_cast<size_t>(value);
+    return true;
+  };
+  if (!parse_size("max-pending-atomic",
+                  &options.streaming.max_pending_atomic_tasks) ||
+      !parse_size("max-pending-submissions",
+                  &options.streaming.max_pending_submissions)) {
+    return 1;
+  }
+  double max_delay_ms = options.streaming.max_delay_seconds * 1e3;
+  if (!ParseDoubleFlag(flags, "max-delay-ms", 0.0, 1e9, &max_delay_ms)) {
+    return 1;
+  }
+  options.streaming.max_delay_seconds = max_delay_ms / 1e3;
+  if (!ParseThreadsFlag(flags, &options.streaming.num_threads)) return 1;
+  if (!ParseSharingFlag(flags, &options.streaming.sharing)) return 1;
+  if (!ParseResourceFlags(flags, &options.streaming.resources)) return 1;
+
+  // Ground truth: drawn per atomic task, independent of the platform's
+  // RNG so the same labels replay under any fault scenario.
+  double positive_rate = 0.5;
+  uint64_t truth_seed = 7;
+  if (!ParseDoubleFlag(flags, "positive-rate", 0.0, 1.0, &positive_rate) ||
+      !ParseUintFlag(flags, "seed", &truth_seed)) {
+    return 1;
+  }
+  Xoshiro256 truth_rng(truth_seed);
+  std::vector<ClosedLoopWorkload> workloads;
+  workloads.reserve(submissions->size());
+  for (TimedSubmission& submission : *submissions) {
+    ClosedLoopWorkload workload;
+    workload.requester = std::move(submission.requester);
+    workload.tasks = std::move(submission.tasks);
+    workload.ground_truth.reserve(workload.num_atomic_tasks());
+    for (size_t k = 0; k < workload.num_atomic_tasks(); ++k) {
+      workload.ground_truth.push_back(truth_rng.NextBernoulli(positive_rate));
+    }
+    workloads.push_back(std::move(workload));
+  }
+
+  std::printf(
+      "serve-loop: %s profile (m=%llu), %zu workload(s), %u round(s) max, "
+      "%s inference, %u dispatch thread(s)\n"
+      "platform: %u workers, skill sigma %.2f, %.1f%% steady spammers, "
+      "faults: %s\n",
+      DatasetKindName(kind), static_cast<unsigned long long>(max_cardinality),
+      workloads.size(), options.max_rounds,
+      InferenceKindName(options.inference), options.dispatch_threads,
+      options.platform.population, options.platform.skill_sigma,
+      options.platform.spammer_fraction * 100.0,
+      options.faults.ToString().c_str());
+
+  Stopwatch wall;
+  ClosedLoopEngine engine(*profile, options);
+  auto report = engine.Run(workloads);
+  if (!report.ok()) return Fail(report.status().ToString());
+  const double seconds = wall.ElapsedSeconds();
+
+  std::printf("%s", report->ToString().c_str());
+  std::printf(
+      "serving: %llu flushes, solve %.3f s; faults: %llu outage verdicts, "
+      "%llu burst posts, %llu straggler posts\n"
+      "wall: %.3f s (%.0f answers/s)\n",
+      static_cast<unsigned long long>(report->streaming.flushes),
+      report->streaming.solve_seconds,
+      static_cast<unsigned long long>(report->faults.outages),
+      static_cast<unsigned long long>(report->faults.burst_posts),
+      static_cast<unsigned long long>(report->faults.straggler_posts),
+      seconds,
+      seconds > 0.0 ? static_cast<double>(report->total_answers) / seconds
+                    : 0.0);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -602,5 +855,6 @@ int main(int argc, char** argv) {
   if (command == "validate") return CmdValidate(*flags);
   if (command == "batch") return CmdBatch(*flags);
   if (command == "stream") return CmdStream(*flags);
+  if (command == "serve-loop") return CmdServeLoop(*flags);
   return Usage();
 }
