@@ -1,5 +1,7 @@
 #include "engine/streaming_engine.h"
 
+#include <algorithm>
+#include <set>
 #include <utility>
 
 namespace slade {
@@ -18,12 +20,20 @@ EngineOptions ToEngineOptions(const StreamingOptions& options) {
 /// Floors both flush caps at 1: a cap of 0 would make SizeTriggeredLocked
 /// true on an empty pending queue and spin the worker forever, and "flush
 /// at 0 pending" can only mean "flush each submission immediately" anyway.
+/// The fairness quantum and default weight are floored at 1 for the same
+/// liveness reason: a zero quantum would never grant credit.
 StreamingOptions Sanitized(StreamingOptions options) {
   if (options.max_pending_atomic_tasks == 0) {
     options.max_pending_atomic_tasks = 1;
   }
   if (options.max_pending_submissions == 0) {
     options.max_pending_submissions = 1;
+  }
+  if (options.fairness.quantum_atomic_tasks == 0) {
+    options.fairness.quantum_atomic_tasks = 1;
+  }
+  if (options.fairness.default_weight == 0) {
+    options.fairness.default_weight = 1;
   }
   return options;
 }
@@ -65,9 +75,159 @@ Result<std::future<Result<RequesterPlan>>> StreamingEngine::TrySubmit(
   return future;
 }
 
+uint64_t StreamingEngine::WeightOf(const std::string& tenant) const {
+  const auto it = options_.fairness.weights.find(tenant);
+  if (it == options_.fairness.weights.end() || it->second == 0) {
+    return options_.fairness.default_weight;
+  }
+  return it->second;
+}
+
+bool StreamingEngine::AnyPendingLocked() const {
+  return options_.fairness.enabled ? pending_count_ > 0 : !pending_.empty();
+}
+
+size_t StreamingEngine::PendingCountLocked() const {
+  return options_.fairness.enabled ? pending_count_ : pending_.size();
+}
+
 bool StreamingEngine::HasRoomLocked(const Pending& pending) const {
-  if (pending_.empty()) return true;
+  if (!AnyPendingLocked()) return true;
   return governor_.WouldFit(pending.bytes, pending.num_atomic);
+}
+
+std::chrono::steady_clock::time_point StreamingEngine::OldestAdmittedLocked()
+    const {
+  if (!options_.fairness.enabled) return pending_.front().admitted;
+  // Per-tenant queues are FIFO, so the global oldest is among the fronts.
+  const Pending* oldest = nullptr;
+  for (const auto& [tenant, state] : tenants_) {
+    if (state.queue.empty()) continue;
+    if (oldest == nullptr || state.queue.front().seq < oldest->seq) {
+      oldest = &state.queue.front();
+    }
+  }
+  return oldest->admitted;
+}
+
+void StreamingEngine::EnqueueLocked(Pending pending) {
+  governor_.Charge(pending.bytes, pending.num_atomic);
+  stats_.submissions += 1;
+  stats_.tasks += pending.tasks.size();
+  stats_.atomic_tasks += pending.num_atomic;
+  pending_atomic_ += pending.num_atomic;
+  if (!options_.fairness.enabled) {
+    pending_.push_back(std::move(pending));
+    return;
+  }
+  TenantState& state = tenants_[pending.requester];
+  state.counters.submissions += 1;
+  state.counters.tasks += pending.tasks.size();
+  state.counters.atomic_tasks += pending.num_atomic;
+  state.pending_atomic += pending.num_atomic;
+  state.pending_bytes += pending.bytes;
+  pending_count_ += 1;
+  if (!state.in_ring) {
+    state.in_ring = true;
+    ring_.push_back(pending.requester);
+  }
+  state.queue.push_back(std::move(pending));
+}
+
+StreamingEngine::Pending StreamingEngine::PopOldestLocked() {
+  if (!options_.fairness.enabled) {
+    Pending victim = std::move(pending_.front());
+    pending_.pop_front();
+    pending_atomic_ -= victim.num_atomic;
+    governor_.Release(victim.bytes, victim.num_atomic);
+    return victim;
+  }
+  TenantState* best = nullptr;
+  for (auto& [tenant, state] : tenants_) {
+    if (state.queue.empty()) continue;
+    if (best == nullptr ||
+        state.queue.front().seq < best->queue.front().seq) {
+      best = &state;
+    }
+  }
+  Pending victim = std::move(best->queue.front());
+  best->queue.pop_front();
+  best->pending_atomic -= victim.num_atomic;
+  best->pending_bytes -= victim.bytes;
+  best->counters.shed += 1;
+  pending_count_ -= 1;
+  pending_atomic_ -= victim.num_atomic;
+  governor_.Release(victim.bytes, victim.num_atomic);
+  return victim;
+}
+
+std::vector<StreamingEngine::Pending> StreamingEngine::AssembleBatchLocked() {
+  std::vector<Pending> batch;
+  if (!options_.fairness.enabled) {
+    batch.reserve(pending_.size());
+    for (Pending& p : pending_) {
+      governor_.Release(p.bytes, p.num_atomic);
+      batch.push_back(std::move(p));
+    }
+    pending_.clear();
+    pending_atomic_ = 0;
+    return batch;
+  }
+
+  // Deficit round-robin over the active tenant ring. Each visit earns
+  // quantum * weight atomic tasks of credit; whole submissions are taken
+  // FIFO while credit lasts. The flush caps bound one micro-batch (the
+  // batch always takes at least one submission, so an oversized
+  // submission still progresses); leftovers stay queued for the next
+  // batch, which the worker starts immediately.
+  const uint64_t quantum = options_.fairness.quantum_atomic_tasks;
+  size_t batch_atomic = 0;
+  bool full = false;
+  while (!full && !ring_.empty()) {
+    const std::string tenant = ring_.front();
+    TenantState& state = tenants_[tenant];
+    if (state.queue.empty()) {
+      // Emptied by a shed or a previous visit: retire from the ring and
+      // forfeit unspent credit (idle tenants must not hoard bursts).
+      state.deficit = 0;
+      state.in_ring = false;
+      ring_.pop_front();
+      continue;
+    }
+    state.deficit += quantum * WeightOf(tenant);
+    while (!state.queue.empty() &&
+           state.queue.front().num_atomic <= state.deficit) {
+      const Pending& front = state.queue.front();
+      if (!batch.empty() &&
+          (batch.size() >= options_.max_pending_submissions ||
+           batch_atomic + front.num_atomic >
+               options_.max_pending_atomic_tasks)) {
+        full = true;
+        break;
+      }
+      Pending taken = std::move(state.queue.front());
+      state.queue.pop_front();
+      state.deficit -= taken.num_atomic;
+      state.pending_atomic -= taken.num_atomic;
+      state.pending_bytes -= taken.bytes;
+      pending_count_ -= 1;
+      pending_atomic_ -= taken.num_atomic;
+      batch_atomic += taken.num_atomic;
+      governor_.Release(taken.bytes, taken.num_atomic);
+      batch.push_back(std::move(taken));
+    }
+    if (full) break;  // tenant keeps its credit and its ring-front spot
+    if (state.queue.empty()) {
+      state.deficit = 0;
+      state.in_ring = false;
+      ring_.pop_front();
+    } else {
+      // Credit exhausted for this round: rotate to the back of the ring.
+      ring_.pop_front();
+      ring_.push_back(tenant);
+    }
+  }
+  return batch;
 }
 
 std::future<Result<RequesterPlan>> StreamingEngine::SubmitWithPolicy(
@@ -93,12 +253,44 @@ std::future<Result<RequesterPlan>> StreamingEngine::SubmitWithPolicy(
   pending.admitted = std::chrono::steady_clock::now();
   pending.promise = std::move(promise);
 
+  const FairnessOptions& fairness = options_.fairness;
   bool admitted = true;
   bool shutdown_refused = false;
+  bool quota_refused = false;
   std::vector<Pending> shed;  // promises fulfilled after the lock drops
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    if (!HasRoomLocked(pending)) {
+    pending.seq = next_seq_++;
+    if (fairness.enabled) {
+      // The tenant quota is checked before (and independently of) the
+      // global policy: over-quota submissions are always rejected, so a
+      // greedy tenant can neither block the shared queue nor shed other
+      // tenants' work to make room for its own. A tenant whose queue is
+      // empty admits regardless (the per-tenant empty-queue rule).
+      const auto it = tenants_.find(pending.requester);
+      if (it != tenants_.end() && !it->second.queue.empty()) {
+        TenantState& state = it->second;
+        const bool over_atomic =
+            fairness.tenant_max_pending_atomic_tasks > 0 &&
+            state.pending_atomic + pending.num_atomic >
+                fairness.tenant_max_pending_atomic_tasks;
+        const bool over_bytes =
+            fairness.tenant_max_pending_bytes > 0 &&
+            state.pending_bytes + pending.bytes >
+                fairness.tenant_max_pending_bytes;
+        if (over_atomic || over_bytes) {
+          state.counters.rejected_quota += 1;
+          stats_.rejected_tenant_quota += 1;
+          admitted = false;
+          quota_refused = true;
+          // Kick a flush anyway: draining is what shrinks the tenant's
+          // pending load below its quota.
+          flush_requested_ = true;
+          wake_.notify_one();
+        }
+      }
+    }
+    if (admitted && !HasRoomLocked(pending)) {
       // The queue is full: kick a flush so the solver opens room as fast
       // as it can, then apply the policy.
       flush_requested_ = true;
@@ -130,25 +322,14 @@ std::future<Result<RequesterPlan>> StreamingEngine::SubmitWithPolicy(
           // Evict pending submissions oldest-first until the newcomer
           // fits. If it is bigger than the whole cap, the queue empties
           // and the empty-queue rule admits it alone.
-          while (!HasRoomLocked(pending) && !pending_.empty()) {
-            Pending victim = std::move(pending_.front());
-            pending_.pop_front();
-            pending_atomic_ -= victim.num_atomic;
-            governor_.Release(victim.bytes, victim.num_atomic);
+          while (!HasRoomLocked(pending) && AnyPendingLocked()) {
             stats_.shed += 1;
-            shed.push_back(std::move(victim));
+            shed.push_back(PopOldestLocked());
           }
           break;
       }
     }
-    if (admitted) {
-      governor_.Charge(pending.bytes, pending.num_atomic);
-      stats_.submissions += 1;
-      stats_.tasks += pending.tasks.size();
-      stats_.atomic_tasks += pending.num_atomic;
-      pending_atomic_ += pending.num_atomic;
-      pending_.push_back(std::move(pending));
-    }
+    if (admitted) EnqueueLocked(std::move(pending));
   }
   if (admitted) wake_.notify_one();
 
@@ -158,16 +339,25 @@ std::future<Result<RequesterPlan>> StreamingEngine::SubmitWithPolicy(
         "' shed by shed-oldest backpressure to admit newer work"));
   }
   if (!admitted) {
-    Status status =
-        shutdown_refused
-            ? Status::ResourceExhausted(
-                  "StreamingEngine: engine shut down while submission "
-                  "was blocked on a full admission queue")
-            : Status::ResourceExhausted(
-                  "StreamingEngine: admission queue full (" +
-                  std::to_string(governor_.max_units()) +
-                  " atomic tasks / " + std::to_string(governor_.max_bytes()) +
-                  " bytes cap)");
+    Status status;
+    if (shutdown_refused) {
+      status = Status::ResourceExhausted(
+          "StreamingEngine: engine shut down while submission "
+          "was blocked on a full admission queue");
+    } else if (quota_refused) {
+      status = Status::ResourceExhausted(
+          "StreamingEngine: tenant quota exceeded for requester '" +
+          pending.requester + "' (" +
+          std::to_string(fairness.tenant_max_pending_atomic_tasks) +
+          " atomic tasks / " +
+          std::to_string(fairness.tenant_max_pending_bytes) +
+          " bytes pending cap)");
+    } else {
+      status = Status::ResourceExhausted(
+          "StreamingEngine: admission queue full (" +
+          std::to_string(governor_.max_units()) + " atomic tasks / " +
+          std::to_string(governor_.max_bytes()) + " bytes cap)");
+    }
     if (rejected != nullptr) *rejected = status;
     pending.promise.set_value(std::move(status));
   }
@@ -177,7 +367,7 @@ std::future<Result<RequesterPlan>> StreamingEngine::SubmitWithPolicy(
 void StreamingEngine::Flush() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (pending_.empty()) return;
+    if (!AnyPendingLocked()) return;
     flush_requested_ = true;
   }
   wake_.notify_one();
@@ -185,11 +375,11 @@ void StreamingEngine::Flush() {
 
 void StreamingEngine::Drain() {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (!pending_.empty()) {
+  if (AnyPendingLocked()) {
     flush_requested_ = true;
     wake_.notify_one();
   }
-  drained_.wait(lock, [&] { return pending_.empty() && in_flight_ == 0; });
+  drained_.wait(lock, [&] { return !AnyPendingLocked() && in_flight_ == 0; });
 }
 
 StreamingStats StreamingEngine::stats() const {
@@ -197,7 +387,7 @@ StreamingStats StreamingEngine::stats() const {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stats = stats_;
-    stats.queue_submissions = pending_.size();
+    stats.queue_submissions = PendingCountLocked();
     stats.queue_atomic_tasks = pending_atomic_;
   }
   const GovernorCounters counters = governor_.counters();
@@ -207,8 +397,24 @@ StreamingStats StreamingEngine::stats() const {
   return stats;
 }
 
+std::vector<TenantStats> StreamingEngine::tenant_stats() const {
+  std::vector<TenantStats> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(tenants_.size());
+  for (const auto& [tenant, state] : tenants_) {
+    TenantStats stats = state.counters;
+    stats.tenant = tenant;
+    stats.weight = WeightOf(tenant);
+    stats.pending_submissions = state.queue.size();
+    stats.pending_atomic_tasks = state.pending_atomic;
+    stats.pending_bytes = state.pending_bytes;
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
 bool StreamingEngine::SizeTriggeredLocked() const {
-  return pending_.size() >= options_.max_pending_submissions ||
+  return PendingCountLocked() >= options_.max_pending_submissions ||
          pending_atomic_ >= options_.max_pending_atomic_tasks;
 }
 
@@ -217,11 +423,11 @@ void StreamingEngine::WorkerLoop() {
   for (;;) {
     bool deadline_hit = false;
     while (!shutdown_ && !flush_requested_ && !SizeTriggeredLocked()) {
-      if (pending_.empty()) {
+      if (!AnyPendingLocked()) {
         wake_.wait(lock);
       } else {
         const auto deadline =
-            pending_.front().admitted +
+            OldestAdmittedLocked() +
             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                 std::chrono::duration<double>(options_.max_delay_seconds));
         if (wake_.wait_until(lock, deadline) == std::cv_status::timeout) {
@@ -230,7 +436,7 @@ void StreamingEngine::WorkerLoop() {
         }
       }
     }
-    if (pending_.empty()) {
+    if (!AnyPendingLocked()) {
       flush_requested_ = false;
       if (shutdown_) return;
       continue;
@@ -243,17 +449,13 @@ void StreamingEngine::WorkerLoop() {
       reason = FlushReason::kDeadline;
     }
     flush_requested_ = false;
-    std::vector<Pending> batch;
-    batch.reserve(pending_.size());
-    for (Pending& p : pending_) {
-      governor_.Release(p.bytes, p.num_atomic);
-      batch.push_back(std::move(p));
-    }
-    pending_.clear();
-    pending_atomic_ = 0;
+    std::vector<Pending> batch = AssembleBatchLocked();
+    // A fairness batch is bounded by the flush caps, so work may remain;
+    // keep the worker draining it without waiting for a new trigger.
+    if (AnyPendingLocked()) flush_requested_ = true;
     const size_t batch_size = batch.size();
     in_flight_ += batch_size;
-    // The queue just emptied: submitters blocked on backpressure may admit
+    // The queue just shrank: submitters blocked on backpressure may admit
     // (and refill it) while the solve below runs.
     admit_.notify_all();
 
@@ -262,7 +464,7 @@ void StreamingEngine::WorkerLoop() {
     lock.lock();
 
     in_flight_ -= batch_size;
-    if (pending_.empty() && in_flight_ == 0) drained_.notify_all();
+    if (!AnyPendingLocked() && in_flight_ == 0) drained_.notify_all();
   }
 }
 
@@ -284,6 +486,15 @@ void StreamingEngine::ProcessBatch(std::vector<Pending> batch,
 
   Result<BatchReport> report = engine_.SolveBatch(tasks, profile_);
 
+  Result<std::vector<RequesterPlan>> slices =
+      report.ok() ? PlanSplitter::SplitBySpans(*report, profile_, spans)
+                  : Result<std::vector<RequesterPlan>>(report.status());
+
+  double slice_cost_total = 0.0;
+  if (slices.ok()) {
+    for (const RequesterPlan& slice : *slices) slice_cost_total += slice.cost;
+  }
+
   uint64_t flush_id = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -304,11 +515,29 @@ void StreamingEngine::ProcessBatch(std::vector<Pending> batch,
       stats_.solve_seconds += report->wall_seconds;
       stats_.total_cost += report->total_cost;
     }
+    if (options_.fairness.enabled && slices.ok()) {
+      // Per-tenant delivery accounting. Billed = the tenant's slice
+      // costs; platform = the batch cost apportioned by billed share
+      // (equal to billed under kIsolated, smaller under kPooled).
+      std::set<std::string> counted;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        TenantState& state = tenants_[batch[i].requester];
+        const double cost = (*slices)[i].cost;
+        state.counters.delivered += 1;
+        state.counters.billed_cost += cost;
+        state.counters.platform_cost +=
+            slice_cost_total > 0.0
+                ? report->total_cost * (cost / slice_cost_total)
+                : 0.0;
+        // A tenant with several submissions in the batch still counts
+        // this micro-batch once.
+        if (counted.insert(batch[i].requester).second) {
+          state.counters.flushes += 1;
+        }
+      }
+    }
   }
 
-  Result<std::vector<RequesterPlan>> slices =
-      report.ok() ? PlanSplitter::SplitBySpans(*report, profile_, spans)
-                  : Result<std::vector<RequesterPlan>>(report.status());
   if (!slices.ok()) {
     // A failed micro-batch fails every submission in it, with the same
     // status a direct SolveBatch call would have returned.

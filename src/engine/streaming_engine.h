@@ -28,6 +28,10 @@
 // solver can drain. Backpressure decides *which* submissions are answered,
 // never *what* the answer is: under kIsolated every admitted submission's
 // plan is still the standalone OPQ-Extended plan.
+//
+// StreamingOptions::fairness adds multi-tenancy on top: per-tenant pending
+// quotas and a weighted deficit-round-robin flush scheduler that keeps one
+// heavy requester from starving many small ones (see FairnessOptions).
 
 #ifndef SLADE_ENGINE_STREAMING_ENGINE_H_
 #define SLADE_ENGINE_STREAMING_ENGINE_H_
@@ -37,6 +41,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -50,6 +55,71 @@
 #include "engine/resource_governor.h"
 
 namespace slade {
+
+/// \brief Multi-tenant fairness: per-tenant quotas and a weighted-fair
+/// (deficit round-robin) flush scheduler.
+///
+/// With fairness off (the default) the engine behaves exactly as before:
+/// one FIFO pending queue, each flush takes everything pending. With
+/// fairness on, submissions queue per tenant (tenant = requester id) and
+/// each micro-batch is assembled by deficit round-robin: every tenant
+/// visit earns `quantum_atomic_tasks * weight` of atomic-task credit, and
+/// whole submissions are taken FIFO from the tenant's queue while credit
+/// lasts, up to the flush caps per micro-batch. One tenant with a huge
+/// backlog therefore cannot push other tenants' work behind all of its
+/// own: every flush interleaves tenants in proportion to their weights.
+///
+/// Because placement under BatchSharing::kIsolated is independent of how
+/// submissions are micro-batched, fairness changes *when* a submission is
+/// answered, never *what* its plan is: every slice stays placement-
+/// identical to the fairness-off (and standalone OPQ-Extended) plan.
+///
+/// Per-tenant pending quotas bound how much one tenant may hold of the
+/// shared queue. A submission over its tenant's quota is rejected
+/// (ResourceExhausted) regardless of the global backpressure policy --
+/// only the offending tenant is touched, with one exception mirroring the
+/// global empty-queue rule: a tenant with an empty queue always admits one
+/// submission, so a quota smaller than one submission cannot starve it.
+///
+/// Tenant state (counters + an idle queue shell) persists for the
+/// engine's lifetime; with unbounded tenant cardinality prefer a
+/// front-end that maps users onto a bounded tenant set.
+struct FairnessOptions {
+  bool enabled = false;
+  /// Atomic-task credit a tenant earns per scheduler visit; floored at 1.
+  uint64_t quantum_atomic_tasks = 1024;
+  /// Weight of tenants absent from `weights`; floored at 1.
+  uint64_t default_weight = 1;
+  /// Per-tenant weight overrides (0 entries are treated as 1).
+  std::map<std::string, uint64_t> weights;
+  /// Per-tenant pending caps (0 = unbounded).
+  uint64_t tenant_max_pending_atomic_tasks = 0;
+  uint64_t tenant_max_pending_bytes = 0;
+};
+
+/// \brief Per-tenant admission / billing counters, readable at any time
+/// via tenant_stats() when fairness is enabled.
+struct TenantStats {
+  std::string tenant;
+  uint64_t weight = 1;
+  uint64_t submissions = 0;     ///< admitted (sheds counted; rejects not)
+  uint64_t tasks = 0;
+  uint64_t atomic_tasks = 0;
+  uint64_t delivered = 0;       ///< futures resolved with a plan slice
+  uint64_t flushes = 0;         ///< micro-batches containing this tenant
+  uint64_t rejected_quota = 0;  ///< rejected by the per-tenant quota
+  uint64_t shed = 0;            ///< evicted by kShedOldest backpressure
+  /// Sum of delivered slice costs: what the tenant is billed.
+  double billed_cost = 0.0;
+  /// The tenant's proportional share of the platform's batch costs. Under
+  /// kIsolated sharing this equals billed_cost; under kPooled it is lower
+  /// and the difference is the sharing discount.
+  double platform_cost = 0.0;
+  // --- snapshot of the tenant's pending queue ---
+  uint64_t pending_submissions = 0;
+  uint64_t pending_atomic_tasks = 0;
+  uint64_t pending_bytes = 0;
+};
 
 /// \brief Micro-batch admission policy. Both size caps are floored at 1 by
 /// the engine (0 would mean "flush before anything is pending").
@@ -73,6 +143,9 @@ struct StreamingOptions {
   /// file comment); cache_* bound the wrapped engine's OPQ cache. Defaults
   /// are unbounded, reproducing the ungoverned behavior exactly.
   ResourceOptions resources;
+  /// Multi-tenant quotas and weighted-fair flush scheduling (see
+  /// FairnessOptions). Disabled by default: the single-FIFO behavior.
+  FairnessOptions fairness;
 };
 
 /// \brief Admission counters, readable at any time via stats().
@@ -92,6 +165,8 @@ struct StreamingStats {
   uint64_t rejected = 0;  ///< Submit/TrySubmit failed fast: queue full
   uint64_t shed = 0;      ///< admitted, then evicted by kShedOldest
   uint64_t blocked = 0;   ///< Submit calls that had to wait for room
+  /// Rejected by a per-tenant quota (fairness enabled; not in `rejected`).
+  uint64_t rejected_tenant_quota = 0;
   /// Queue occupancy at the stats() snapshot (pending, not yet flushed).
   uint64_t queue_submissions = 0;
   uint64_t queue_atomic_tasks = 0;
@@ -148,6 +223,9 @@ class StreamingEngine {
   void Drain();
 
   StreamingStats stats() const;
+  /// Per-tenant counters in tenant-id order; empty when fairness is
+  /// disabled (tenant tracking would grow without bound otherwise).
+  std::vector<TenantStats> tenant_stats() const;
   const OpqCache& cache() const { return engine_.cache(); }
   /// The governor bounding the pending admission queue.
   const ResourceGovernor& governor() const { return governor_; }
@@ -159,8 +237,19 @@ class StreamingEngine {
     std::vector<CrowdsourcingTask> tasks;
     size_t num_atomic = 0;
     uint64_t bytes = 0;  ///< estimated queue charge for this submission
+    uint64_t seq = 0;    ///< global admission order (fairness sheds/ages)
     std::chrono::steady_clock::time_point admitted;
     std::promise<Result<RequesterPlan>> promise;
+  };
+
+  /// One tenant's pending queue and lifetime counters (fairness mode).
+  struct TenantState {
+    std::deque<Pending> queue;
+    uint64_t deficit = 0;  ///< unspent DRR credit, in atomic tasks
+    bool in_ring = false;
+    uint64_t pending_atomic = 0;
+    uint64_t pending_bytes = 0;
+    TenantStats counters;  ///< pending_* snapshot fields unused here
   };
 
   enum class FlushReason { kSize, kDeadline, kDrain };
@@ -172,6 +261,23 @@ class StreamingEngine {
   /// submission is never deadlocked by a cap smaller than itself) or the
   /// governor has room for it. Requires mutex_ held.
   bool HasRoomLocked(const Pending& pending) const;
+  /// True iff anything is pending, in either queueing mode.
+  bool AnyPendingLocked() const;
+  /// Number of pending submissions, in either queueing mode.
+  size_t PendingCountLocked() const;
+  /// Admission time of the oldest pending submission; only valid when
+  /// AnyPendingLocked().
+  std::chrono::steady_clock::time_point OldestAdmittedLocked() const;
+  /// Appends `pending` to the right queue and charges all counters.
+  void EnqueueLocked(Pending pending);
+  /// Removes and returns the globally oldest pending submission (for
+  /// kShedOldest), releasing its charges; only valid when pending.
+  Pending PopOldestLocked();
+  /// Cuts the next micro-batch out of the pending state, releasing its
+  /// charges: everything pending (fairness off) or a deficit-round-robin
+  /// selection bounded by the flush caps (fairness on).
+  std::vector<Pending> AssembleBatchLocked();
+  uint64_t WeightOf(const std::string& tenant) const;
   void WorkerLoop();
   /// True when the pending batch must flush now on size alone (the
   /// deadline path is handled by the worker's timed wait).
@@ -187,7 +293,13 @@ class StreamingEngine {
   std::condition_variable wake_;     ///< worker: pending work or shutdown
   std::condition_variable drained_;  ///< Drain(): everything fulfilled
   std::condition_variable admit_;    ///< blocked Submit: room freed
-  std::deque<Pending> pending_;
+  std::deque<Pending> pending_;      ///< fairness off: the one FIFO queue
+  // Fairness on: per-tenant queues + the round-robin ring of tenants with
+  // pending work. pending_count_ tracks submissions across all tenants.
+  std::map<std::string, TenantState> tenants_;
+  std::deque<std::string> ring_;
+  size_t pending_count_ = 0;
+  uint64_t next_seq_ = 0;
   size_t pending_atomic_ = 0;
   bool flush_requested_ = false;
   bool shutdown_ = false;

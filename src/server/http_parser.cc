@@ -1,0 +1,307 @@
+#include "server/http_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace slade {
+
+namespace {
+
+bool IsTokenChar(unsigned char c) {
+  // RFC 7230 token characters: the method and header names must be made
+  // of these and nothing else.
+  if (std::isalnum(c)) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Printable ASCII plus horizontal tab: the only bytes a header value or
+/// request target may carry. Everything else (NUL, CR, LF smuggled via
+/// splits, arbitrary control bytes) is malformed.
+bool IsFieldChar(unsigned char c) {
+  return c == '\t' || (c >= 0x20 && c < 0x7f);
+}
+
+std::string TrimWhitespace(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) ++begin;
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t')) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::keep_alive() const {
+  const std::string* connection = FindHeader("connection");
+  if (connection != nullptr) {
+    const std::string value = ToLower(*connection);
+    if (value == "close") return false;
+    if (value == "keep-alive") return true;
+  }
+  return version == "HTTP/1.1";
+}
+
+HttpRequestParser::HttpRequestParser(HttpParserLimits limits)
+    : limits_(limits) {}
+
+void HttpRequestParser::Reset() {
+  buffer_.clear();
+  cursor_ = 0;
+  phase_ = Phase::kRequestLine;
+  state_ = HttpParseState::kNeedMore;
+  request_ = HttpRequest();
+  header_bytes_ = 0;
+  body_expected_ = 0;
+  error_code_ = 0;
+  error_message_.clear();
+}
+
+void HttpRequestParser::FailWith(int code, std::string message) {
+  phase_ = Phase::kFailed;
+  state_ = HttpParseState::kError;
+  error_code_ = code;
+  error_message_ = std::move(message);
+}
+
+HttpParseState HttpRequestParser::Feed(const char* data, size_t size) {
+  if (state_ == HttpParseState::kError) return state_;
+  buffer_.append(data, size);
+  if (state_ == HttpParseState::kComplete) return state_;  // bytes buffered
+  return Advance();
+}
+
+HttpRequest HttpRequestParser::ConsumeRequest(HttpParseState* next_state) {
+  HttpRequest done = std::move(request_);
+  // Drop the consumed prefix so a long-lived keep-alive connection never
+  // accumulates memory, then restart the machine on the leftovers.
+  buffer_.erase(0, cursor_);
+  cursor_ = 0;
+  phase_ = Phase::kRequestLine;
+  state_ = HttpParseState::kNeedMore;
+  request_ = HttpRequest();
+  header_bytes_ = 0;
+  body_expected_ = 0;
+  const HttpParseState state = Advance();
+  if (next_state != nullptr) *next_state = state;
+  return done;
+}
+
+bool HttpRequestParser::TakeLine(size_t cap, int cap_code, const char* what,
+                                 std::string* line) {
+  const size_t eol = buffer_.find('\n', cursor_);
+  if (eol == std::string::npos) {
+    // Not terminated yet -- but a partial line beyond the cap is already
+    // an error, no matter how much more arrives.
+    if (buffer_.size() - cursor_ > cap) {
+      FailWith(cap_code, std::string(what) + " exceeds " +
+                             std::to_string(cap) + " bytes");
+    }
+    return false;
+  }
+  if (eol == cursor_ || buffer_[eol - 1] != '\r') {
+    FailWith(400, std::string(what) + " not terminated by CRLF");
+    return false;
+  }
+  const size_t length = eol - 1 - cursor_;  // excluding CRLF
+  if (length + 2 > cap) {
+    FailWith(cap_code, std::string(what) + " exceeds " +
+                           std::to_string(cap) + " bytes");
+    return false;
+  }
+  line->assign(buffer_, cursor_, length);
+  cursor_ = eol + 1;
+  return true;
+}
+
+bool HttpRequestParser::ParseRequestLine(const std::string& line) {
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    FailWith(400, "malformed request line");
+    return false;
+  }
+  request_.method = line.substr(0, sp1);
+  request_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  request_.version = line.substr(sp2 + 1);
+  if (request_.method.empty() || request_.method.size() > 32) {
+    FailWith(400, "malformed method");
+    return false;
+  }
+  for (const char c : request_.method) {
+    if (!IsTokenChar(static_cast<unsigned char>(c))) {
+      FailWith(400, "malformed method");
+      return false;
+    }
+  }
+  if (request_.target.empty() || request_.target.find(' ') !=
+                                     std::string::npos) {
+    FailWith(400, "malformed request target");
+    return false;
+  }
+  for (const char c : request_.target) {
+    // Stricter than field chars: a target is visible ASCII only (no tab,
+    // no space -- a space would mean the request line had four parts).
+    if (!IsFieldChar(static_cast<unsigned char>(c)) || c == ' ' ||
+        c == '\t') {
+      FailWith(400, "malformed request target");
+      return false;
+    }
+  }
+  if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+    FailWith(505, "unsupported HTTP version '" + request_.version + "'");
+    return false;
+  }
+  return true;
+}
+
+bool HttpRequestParser::ParseHeaderLine(const std::string& line) {
+  if (line[0] == ' ' || line[0] == '\t') {
+    // Obsolete line folding: deprecated by RFC 7230 and a classic
+    // request-smuggling vector; reject outright.
+    FailWith(400, "obsolete header line folding");
+    return false;
+  }
+  const size_t colon = line.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    FailWith(400, "malformed header line");
+    return false;
+  }
+  std::string name = line.substr(0, colon);
+  for (const char c : name) {
+    if (!IsTokenChar(static_cast<unsigned char>(c))) {
+      FailWith(400, "malformed header name");
+      return false;
+    }
+  }
+  std::string value = TrimWhitespace(line.substr(colon + 1));
+  for (const char c : value) {
+    if (!IsFieldChar(static_cast<unsigned char>(c))) {
+      FailWith(400, "control byte in header value");
+      return false;
+    }
+  }
+  if (request_.headers.size() >= limits_.max_headers) {
+    FailWith(431, "more than " + std::to_string(limits_.max_headers) +
+                      " header fields");
+    return false;
+  }
+  request_.headers.emplace_back(ToLower(std::move(name)), std::move(value));
+  return true;
+}
+
+bool HttpRequestParser::BeginBody() {
+  if (request_.FindHeader("transfer-encoding") != nullptr) {
+    FailWith(501, "transfer-encoding is not supported; use content-length");
+    return false;
+  }
+  const std::string* content_length = request_.FindHeader("content-length");
+  if (content_length == nullptr) {
+    body_expected_ = 0;
+    return true;
+  }
+  // Duplicate Content-Length headers are another smuggling vector: all
+  // occurrences must agree byte for byte.
+  for (const auto& [key, value] : request_.headers) {
+    if (key == "content-length" && value != *content_length) {
+      FailWith(400, "conflicting content-length headers");
+      return false;
+    }
+  }
+  if (content_length->empty() || content_length->size() > 18) {
+    FailWith(400, "malformed content-length");
+    return false;
+  }
+  uint64_t length = 0;
+  for (const char c : *content_length) {
+    if (c < '0' || c > '9') {
+      FailWith(400, "malformed content-length");
+      return false;
+    }
+    length = length * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (length > limits_.max_body_bytes) {
+    FailWith(413, "body of " + std::to_string(length) +
+                      " bytes exceeds the cap of " +
+                      std::to_string(limits_.max_body_bytes));
+    return false;
+  }
+  body_expected_ = static_cast<size_t>(length);
+  return true;
+}
+
+HttpParseState HttpRequestParser::Advance() {
+  for (;;) {
+    switch (phase_) {
+      case Phase::kRequestLine: {
+        std::string line;
+        if (!TakeLine(limits_.max_request_line_bytes, 431, "request line",
+                      &line)) {
+          return state_;
+        }
+        if (!ParseRequestLine(line)) return state_;
+        phase_ = Phase::kHeaders;
+        break;
+      }
+      case Phase::kHeaders: {
+        // The per-line cap is whatever header budget is left, so the total
+        // across all header lines (separators included) stays bounded.
+        if (header_bytes_ > limits_.max_header_bytes) {
+          FailWith(431, "header fields exceed " +
+                            std::to_string(limits_.max_header_bytes) +
+                            " bytes");
+          return state_;
+        }
+        const size_t before = cursor_;
+        std::string line;
+        if (!TakeLine(limits_.max_header_bytes - header_bytes_ + 2, 431,
+                      "header fields", &line)) {
+          return state_;
+        }
+        header_bytes_ += cursor_ - before;
+        if (line.empty()) {  // blank line: headers done
+          if (!BeginBody()) return state_;
+          phase_ = Phase::kBody;
+          break;
+        }
+        if (!ParseHeaderLine(line)) return state_;
+        break;
+      }
+      case Phase::kBody: {
+        if (buffer_.size() - cursor_ < body_expected_) {
+          return state_;  // kNeedMore
+        }
+        request_.body.assign(buffer_, cursor_, body_expected_);
+        cursor_ += body_expected_;
+        phase_ = Phase::kDone;
+        state_ = HttpParseState::kComplete;
+        return state_;
+      }
+      case Phase::kDone:
+      case Phase::kFailed:
+        return state_;
+    }
+  }
+}
+
+}  // namespace slade

@@ -1,0 +1,128 @@
+// Copyright (c) the SLADE reproduction authors.
+// A hand-rolled, strictly bounded HTTP/1.1 request parser.
+//
+// The network front end cannot trust a byte of what a socket delivers, so
+// the parser is written for hostility first: every dimension of a request
+// (request-line length, header bytes, header count, body bytes) has a hard
+// cap, every malformed input maps to a definite HTTP status code, and no
+// input -- truncated, oversized, split across arbitrary read boundaries,
+// or pipelined -- can make it crash, loop, or allocate beyond its caps.
+//
+// The parser is incremental and pull-based: Feed() appends whatever bytes
+// the socket produced; the parser consumes them into at most one complete
+// request at a time. When a request completes, bytes beyond it (pipelined
+// requests) stay buffered; ConsumeRequest() hands out the finished request
+// and immediately resumes parsing the leftovers, so a tight
+// Feed/ConsumeRequest loop drains a pipeline without re-reading the
+// socket. After an error the parser stays in the error state (the
+// connection is unrecoverable: framing is lost) until Reset().
+
+#ifndef SLADE_SERVER_HTTP_PARSER_H_
+#define SLADE_SERVER_HTTP_PARSER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace slade {
+
+/// \brief Hard caps on one request's dimensions. Exceeding a cap is a
+/// definite protocol error (431 for the request line / headers, 413 for
+/// the body), never a resize.
+struct HttpParserLimits {
+  size_t max_request_line_bytes = 8192;
+  /// Total bytes across all header lines (names, values, separators).
+  size_t max_header_bytes = 16384;
+  size_t max_headers = 64;
+  size_t max_body_bytes = 4u << 20;  // 4 MiB
+};
+
+/// \brief One parsed request. Header names are lower-cased at parse time
+/// (HTTP header names are case-insensitive); values keep their bytes with
+/// surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string version;  ///< "HTTP/1.0" or "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First value of `name` (must be given lower-cased), or nullptr.
+  const std::string* FindHeader(const std::string& name) const;
+
+  /// HTTP/1.1 defaults to keep-alive unless "Connection: close";
+  /// HTTP/1.0 defaults to close unless "Connection: keep-alive".
+  bool keep_alive() const;
+};
+
+/// \brief Parser state visible to the caller after each Feed().
+enum class HttpParseState {
+  kNeedMore,  ///< no complete request buffered yet; feed more bytes
+  kComplete,  ///< a request is ready: call ConsumeRequest()
+  kError,     ///< protocol error: answer error_code() and close
+};
+
+/// \brief Incremental bounded parser for one connection's request stream.
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(HttpParserLimits limits = {});
+
+  /// Appends `size` bytes and advances the parse. Returns the resulting
+  /// state; kComplete means one request is ready (further pipelined bytes
+  /// stay buffered). Feeding after kComplete is allowed and buffers the
+  /// bytes for the next request; feeding after kError is a no-op.
+  HttpParseState Feed(const char* data, size_t size);
+
+  /// Current state without feeding.
+  HttpParseState state() const { return state_; }
+
+  /// Moves out the completed request and resumes parsing any buffered
+  /// pipelined bytes; the returned state is the state of the *next*
+  /// request (kComplete again if it was fully buffered). Must only be
+  /// called in state kComplete.
+  HttpRequest ConsumeRequest(HttpParseState* next_state);
+
+  /// In state kError: the HTTP status code that describes the error
+  /// (400 malformed, 413 body too large, 431 request line / header fields
+  /// too large, 501 unsupported transfer encoding, 505 bad version).
+  int error_code() const { return error_code_; }
+  const std::string& error_message() const { return error_message_; }
+
+  /// Returns to a pristine kNeedMore state, dropping all buffered bytes.
+  void Reset();
+
+  const HttpParserLimits& limits() const { return limits_; }
+
+ private:
+  enum class Phase { kRequestLine, kHeaders, kBody, kDone, kFailed };
+
+  HttpParseState Advance();
+  bool ParseRequestLine(const std::string& line);
+  bool ParseHeaderLine(const std::string& line);
+  /// After the blank line: validates framing headers and decides how many
+  /// body bytes to expect. Sets the error state on bad framing.
+  bool BeginBody();
+  void FailWith(int code, std::string message);
+  /// Extracts one CRLF-terminated line from buffer_ starting at cursor_,
+  /// enforcing `cap` on the line length (error `cap_code` beyond it).
+  /// Returns false when the line is still incomplete (or on error).
+  bool TakeLine(size_t cap, int cap_code, const char* what,
+                std::string* line);
+
+  const HttpParserLimits limits_;
+  std::string buffer_;   ///< unconsumed raw bytes
+  size_t cursor_ = 0;    ///< parse position inside buffer_
+  Phase phase_ = Phase::kRequestLine;
+  HttpParseState state_ = HttpParseState::kNeedMore;
+  HttpRequest request_;  ///< request under construction / completed
+  size_t header_bytes_ = 0;
+  size_t body_expected_ = 0;
+  int error_code_ = 0;
+  std::string error_message_;
+};
+
+}  // namespace slade
+
+#endif  // SLADE_SERVER_HTTP_PARSER_H_

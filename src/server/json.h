@@ -1,0 +1,113 @@
+// Copyright (c) the SLADE reproduction authors.
+// Minimal JSON parsing and serialization for the HTTP front end.
+//
+// The server speaks a small JSON dialect: submit payloads come in as one
+// object with string / number / nested-array members, and stats go out as
+// one nested object. Nothing here aims to be a general JSON library; the
+// point is a strict, bounded parser (depth and size caps, no surprises on
+// hostile input -- it backs the request path of a network-facing server)
+// and a writer that cannot emit malformed output.
+
+#ifndef SLADE_SERVER_JSON_H_
+#define SLADE_SERVER_JSON_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace slade {
+
+/// \brief One parsed JSON value (a tree; arrays/objects own their
+/// children). Object member order is preserved; duplicate keys are
+/// rejected at parse time. Plain public fields: this is a passive parse
+/// result, not an abstraction boundary.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Strict parse of a complete JSON document (any trailing non-space
+  /// bytes are an error). `max_depth` bounds array/object nesting so a
+  /// hostile "[[[[..." cannot recurse the stack away.
+  static Result<JsonValue> Parse(const std::string& text,
+                                 size_t max_depth = 32);
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// Object lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+};
+
+/// \brief Escapes `s` for inclusion inside a JSON string literal (quotes
+/// not included).
+std::string JsonEscape(const std::string& s);
+
+/// \brief Append-only JSON writer producing one compact document.
+///
+/// \code
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("requests"); w.Value(42.0);
+///   w.Key("tenants"); w.BeginArray(); ... w.EndArray();
+///   w.EndObject();
+///   std::string doc = std::move(w).Take();
+/// \endcode
+///
+/// The writer tracks separators itself, so every sequence of calls that
+/// pairs Begin/End correctly yields valid JSON.
+class JsonWriter {
+ public:
+  void BeginObject() { Prefix(); out_ += '{'; fresh_ = true; }
+  void EndObject() { out_ += '}'; fresh_ = false; }
+  void BeginArray() { Prefix(); out_ += '['; fresh_ = true; }
+  void EndArray() { out_ += ']'; fresh_ = false; }
+
+  void Key(const std::string& key) {
+    Prefix();
+    out_ += '"';
+    out_ += JsonEscape(key);
+    out_ += "\":";
+    fresh_ = true;  // the value that follows needs no comma
+  }
+
+  void Value(const std::string& s) {
+    Prefix();
+    out_ += '"';
+    out_ += JsonEscape(s);
+    out_ += '"';
+  }
+  void Value(const char* s) { Value(std::string(s)); }
+  void Value(double number);
+  void Value(uint64_t number);
+  void Value(bool b) { Prefix(); out_ += b ? "true" : "false"; }
+  void Null() { Prefix(); out_ += "null"; }
+
+  const std::string& str() const { return out_; }
+  std::string Take() && { return std::move(out_); }
+
+ private:
+  void Prefix() {
+    if (!fresh_) out_ += ',';
+    fresh_ = false;
+  }
+
+  std::string out_;
+  bool fresh_ = true;  ///< next emit needs no separating comma
+};
+
+}  // namespace slade
+
+#endif  // SLADE_SERVER_JSON_H_

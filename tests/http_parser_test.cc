@@ -1,0 +1,328 @@
+// Exhaustive malformed-input battery for the bounded HTTP request parser.
+//
+// The parser fronts a network-facing server, so every test here is an
+// attack rehearsal: truncated lines, oversized everything, bytes split
+// across arbitrary read boundaries, pipelining, smuggling vectors
+// (obs-fold, conflicting Content-Length, Transfer-Encoding). The
+// invariant under test is always the same -- a definite clean outcome
+// (kComplete or kError with the right status code), never a crash, hang,
+// or unbounded buffer. The suite rides the ASan/UBSan and TSan CI legs.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/http_parser.h"
+
+namespace slade {
+namespace {
+
+/// Feeds the whole input in one call and returns the resulting state.
+HttpParseState FeedAll(HttpRequestParser* parser, const std::string& input) {
+  return parser->Feed(input.data(), input.size());
+}
+
+/// Feeds the input byte by byte -- the harshest read-boundary split.
+HttpParseState FeedBytewise(HttpRequestParser* parser,
+                            const std::string& input) {
+  HttpParseState state = parser->state();
+  for (const char c : input) {
+    state = parser->Feed(&c, 1);
+  }
+  return state;
+}
+
+const std::string kSimpleGet = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+
+TEST(HttpParserTest, ParsesASimpleGet) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, kSimpleGet), HttpParseState::kComplete);
+  const HttpRequest request = parser.ConsumeRequest(nullptr);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/healthz");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  ASSERT_EQ(request.headers.size(), 1u);
+  EXPECT_EQ(request.headers[0].first, "host");  // lower-cased
+  EXPECT_EQ(request.headers[0].second, "x");
+  EXPECT_TRUE(request.body.empty());
+  EXPECT_TRUE(request.keep_alive());
+}
+
+TEST(HttpParserTest, ParsesAPostWithBody) {
+  HttpRequestParser parser;
+  const std::string input =
+      "POST /v1/submit HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world";
+  ASSERT_EQ(FeedAll(&parser, input), HttpParseState::kComplete);
+  const HttpRequest request = parser.ConsumeRequest(nullptr);
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.body, "hello world");
+}
+
+TEST(HttpParserTest, EveryReadBoundarySplitYieldsTheSameRequest) {
+  const std::string input =
+      "POST /v1/submit HTTP/1.1\r\nHost: a\r\nContent-Length: 5\r\n\r\nabcde";
+  // Split the byte stream at every possible boundary into two Feed calls,
+  // plus the all-at-once and byte-by-byte extremes.
+  for (size_t split = 0; split <= input.size(); ++split) {
+    HttpRequestParser parser;
+    parser.Feed(input.data(), split);
+    ASSERT_EQ(parser.Feed(input.data() + split, input.size() - split),
+              HttpParseState::kComplete)
+        << "split at " << split;
+    const HttpRequest request = parser.ConsumeRequest(nullptr);
+    EXPECT_EQ(request.body, "abcde") << "split at " << split;
+  }
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedBytewise(&parser, input), HttpParseState::kComplete);
+  EXPECT_EQ(parser.ConsumeRequest(nullptr).body, "abcde");
+}
+
+TEST(HttpParserTest, PipelinedRequestsDrainOneAtATime) {
+  HttpRequestParser parser;
+  const std::string two = kSimpleGet + kSimpleGet;
+  ASSERT_EQ(FeedAll(&parser, two), HttpParseState::kComplete);
+  HttpParseState next = HttpParseState::kNeedMore;
+  const HttpRequest first = parser.ConsumeRequest(&next);
+  EXPECT_EQ(first.target, "/healthz");
+  // The second request was already buffered: parsing resumed immediately.
+  ASSERT_EQ(next, HttpParseState::kComplete);
+  const HttpRequest second = parser.ConsumeRequest(&next);
+  EXPECT_EQ(second.target, "/healthz");
+  EXPECT_EQ(next, HttpParseState::kNeedMore);
+}
+
+TEST(HttpParserTest, TruncatedInputsStayInNeedMore) {
+  // Every strict prefix of a valid request must report kNeedMore -- no
+  // premature completion and no error on a half-arrived request.
+  for (size_t length = 0; length < kSimpleGet.size(); ++length) {
+    HttpRequestParser parser;
+    EXPECT_EQ(FeedAll(&parser, kSimpleGet.substr(0, length)),
+              HttpParseState::kNeedMore)
+        << "prefix length " << length;
+  }
+}
+
+TEST(HttpParserTest, BareLfLineEndingIsRejected) {
+  HttpRequestParser parser;
+  EXPECT_EQ(FeedAll(&parser, "GET / HTTP/1.1\nHost: x\n\n"),
+            HttpParseState::kError);
+  EXPECT_EQ(parser.error_code(), 400);
+}
+
+TEST(HttpParserTest, MalformedRequestLinesAreRejected) {
+  const std::vector<std::string> bad = {
+      "\r\n",                          // empty request line
+      "GET\r\n",                       // no target
+      "GET /\r\n",                     // no version
+      "GET / HTTP/2.0\r\n",            // unsupported version (505 below)
+      "G@T / HTTP/1.1\r\n",            // non-token method byte
+      " GET / HTTP/1.1\r\n",           // leading space
+      "GET /a\tb HTTP/1.1\r\n",        // would need two targets
+  };
+  for (const std::string& line : bad) {
+    HttpRequestParser parser;
+    EXPECT_EQ(FeedAll(&parser, line), HttpParseState::kError) << line;
+    EXPECT_TRUE(parser.error_code() == 400 || parser.error_code() == 505)
+        << line << " -> " << parser.error_code();
+  }
+}
+
+TEST(HttpParserTest, UnsupportedVersionIs505) {
+  HttpRequestParser parser;
+  EXPECT_EQ(FeedAll(&parser, "GET / HTTP/2.0\r\n"), HttpParseState::kError);
+  EXPECT_EQ(parser.error_code(), 505);
+}
+
+TEST(HttpParserTest, OversizedRequestLineFailsEvenBeforeTermination) {
+  HttpParserLimits limits;
+  limits.max_request_line_bytes = 64;
+  HttpRequestParser parser(limits);
+  // No CRLF ever arrives; the cap must still trip on the partial line.
+  const std::string long_target = "GET /" + std::string(200, 'a');
+  EXPECT_EQ(FeedAll(&parser, long_target), HttpParseState::kError);
+  EXPECT_EQ(parser.error_code(), 431);
+}
+
+TEST(HttpParserTest, OversizedHeaderBlockIs431) {
+  HttpParserLimits limits;
+  limits.max_header_bytes = 128;
+  HttpRequestParser parser(limits);
+  std::string input = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 16; ++i) {
+    input += "X-Filler-" + std::to_string(i) + ": " +
+             std::string(32, 'v') + "\r\n";
+  }
+  input += "\r\n";
+  EXPECT_EQ(FeedAll(&parser, input), HttpParseState::kError);
+  EXPECT_EQ(parser.error_code(), 431);
+}
+
+TEST(HttpParserTest, TooManyHeadersIs431) {
+  HttpParserLimits limits;
+  limits.max_headers = 4;
+  HttpRequestParser parser(limits);
+  std::string input = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 6; ++i) {
+    input += "H" + std::to_string(i) + ": v\r\n";
+  }
+  input += "\r\n";
+  EXPECT_EQ(FeedAll(&parser, input), HttpParseState::kError);
+  EXPECT_EQ(parser.error_code(), 431);
+}
+
+TEST(HttpParserTest, OversizedBodyIs413BeforeTheBodyArrives) {
+  HttpParserLimits limits;
+  limits.max_body_bytes = 100;
+  HttpRequestParser parser(limits);
+  // The 413 must fire on the Content-Length declaration alone -- the
+  // parser must not wait for (or buffer) a single body byte.
+  const std::string head =
+      "POST /v1/submit HTTP/1.1\r\nContent-Length: 101\r\n\r\n";
+  EXPECT_EQ(FeedAll(&parser, head), HttpParseState::kError);
+  EXPECT_EQ(parser.error_code(), 413);
+}
+
+TEST(HttpParserTest, MalformedContentLengthIs400) {
+  const std::vector<std::string> bad = {
+      "Content-Length: ten\r\n",
+      "Content-Length: -5\r\n",
+      "Content-Length: 1e3\r\n",
+      "Content-Length: 9999999999999999999999\r\n",  // > 18 digits
+      "Content-Length: \r\n",
+  };
+  for (const std::string& header : bad) {
+    HttpRequestParser parser;
+    const std::string input = "POST / HTTP/1.1\r\n" + header + "\r\n";
+    EXPECT_EQ(FeedAll(&parser, input), HttpParseState::kError) << header;
+    EXPECT_EQ(parser.error_code(), 400) << header;
+  }
+}
+
+TEST(HttpParserTest, ConflictingContentLengthsAreRejected) {
+  // Duplicate Content-Length with different values is a classic request
+  // smuggling vector.
+  HttpRequestParser parser;
+  const std::string input =
+      "POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\n";
+  EXPECT_EQ(FeedAll(&parser, input), HttpParseState::kError);
+  EXPECT_EQ(parser.error_code(), 400);
+}
+
+TEST(HttpParserTest, AgreeingDuplicateContentLengthsAreAccepted) {
+  HttpRequestParser parser;
+  const std::string input =
+      "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok";
+  EXPECT_EQ(FeedAll(&parser, input), HttpParseState::kComplete);
+  EXPECT_EQ(parser.ConsumeRequest(nullptr).body, "ok");
+}
+
+TEST(HttpParserTest, TransferEncodingIs501) {
+  HttpRequestParser parser;
+  const std::string input =
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+  EXPECT_EQ(FeedAll(&parser, input), HttpParseState::kError);
+  EXPECT_EQ(parser.error_code(), 501);
+}
+
+TEST(HttpParserTest, ObsoleteLineFoldingIsRejected) {
+  HttpRequestParser parser;
+  const std::string input =
+      "GET / HTTP/1.1\r\nHost: a\r\n folded-continuation\r\n\r\n";
+  EXPECT_EQ(FeedAll(&parser, input), HttpParseState::kError);
+  EXPECT_EQ(parser.error_code(), 400);
+}
+
+TEST(HttpParserTest, ControlBytesInHeaderValuesAreRejected) {
+  HttpRequestParser parser;
+  const std::string input = std::string("GET / HTTP/1.1\r\nHost: a") + '\x01' +
+                            "b\r\n\r\n";
+  EXPECT_EQ(FeedAll(&parser, input), HttpParseState::kError);
+  EXPECT_EQ(parser.error_code(), 400);
+}
+
+TEST(HttpParserTest, HeaderWithoutColonIsRejected) {
+  HttpRequestParser parser;
+  EXPECT_EQ(FeedAll(&parser, "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            HttpParseState::kError);
+  EXPECT_EQ(parser.error_code(), 400);
+}
+
+TEST(HttpParserTest, ErrorStateIsSticky) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "bad\r\n"), HttpParseState::kError);
+  // More bytes -- even a whole valid request -- cannot resurrect it.
+  EXPECT_EQ(FeedAll(&parser, kSimpleGet), HttpParseState::kError);
+  EXPECT_EQ(parser.error_code(), 400);
+}
+
+TEST(HttpParserTest, ResetReturnsToPristine) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "bad\r\n"), HttpParseState::kError);
+  parser.Reset();
+  EXPECT_EQ(parser.state(), HttpParseState::kNeedMore);
+  ASSERT_EQ(FeedAll(&parser, kSimpleGet), HttpParseState::kComplete);
+  EXPECT_EQ(parser.ConsumeRequest(nullptr).target, "/healthz");
+}
+
+TEST(HttpParserTest, KeepAliveSemantics) {
+  struct Case {
+    std::string input;
+    bool keep_alive;
+  };
+  const std::vector<Case> cases = {
+      {"GET / HTTP/1.1\r\n\r\n", true},
+      {"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+      {"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+  };
+  for (const Case& c : cases) {
+    HttpRequestParser parser;
+    ASSERT_EQ(FeedAll(&parser, c.input), HttpParseState::kComplete) << c.input;
+    EXPECT_EQ(parser.ConsumeRequest(nullptr).keep_alive(), c.keep_alive)
+        << c.input;
+  }
+}
+
+TEST(HttpParserTest, ConsumeKeepsMemoryBoundedAcrossManyRequests) {
+  // A keep-alive connection serving thousands of requests must not grow
+  // the parser's buffer: ConsumeRequest drops consumed bytes.
+  HttpRequestParser parser;
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(FeedAll(&parser, kSimpleGet), HttpParseState::kComplete);
+    const HttpRequest request = parser.ConsumeRequest(nullptr);
+    ASSERT_EQ(request.target, "/healthz");
+    ASSERT_EQ(parser.state(), HttpParseState::kNeedMore);
+  }
+}
+
+TEST(HttpParserTest, GarbageBytesNeverCrash) {
+  // A deterministic pseudo-random byte spray; the only requirement is a
+  // clean terminal state (error or still-waiting), never a crash.
+  uint64_t rng = 0x9e3779b97f4a7c15ull;
+  for (int round = 0; round < 200; ++round) {
+    HttpRequestParser parser;
+    std::string garbage;
+    for (int i = 0; i < 512; ++i) {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      garbage.push_back(static_cast<char>(rng & 0xff));
+    }
+    const HttpParseState state = FeedBytewise(&parser, garbage);
+    EXPECT_TRUE(state == HttpParseState::kError ||
+                state == HttpParseState::kNeedMore ||
+                state == HttpParseState::kComplete);
+  }
+}
+
+TEST(HttpParserTest, ZeroLengthBodyCompletesImmediately) {
+  HttpRequestParser parser;
+  const std::string input = "POST / HTTP/1.1\r\nContent-Length: 0\r\n\r\n";
+  ASSERT_EQ(FeedAll(&parser, input), HttpParseState::kComplete);
+  EXPECT_TRUE(parser.ConsumeRequest(nullptr).body.empty());
+}
+
+}  // namespace
+}  // namespace slade

@@ -1,0 +1,442 @@
+// load_driver: many-connection HTTP load generator for `slade_cli serve`.
+//
+//   load_driver --port P [--host H] [--connections N] [--repeat R]
+//               (--workload TIMED.csv [--speed X] | --smoke)
+//               [--out NAME] [--tenants a,b,c]
+//
+// Replays a timed workload (CSV rows `arrival_ms,requester,task,threshold`,
+// the same format `slade_cli stream` consumes) against a running serve
+// front end over N concurrent keep-alive connections. --speed X replays
+// arrivals X times faster than recorded; 0 (the default) submits as fast
+// as the server accepts. --smoke generates a small deterministic synthetic
+// workload instead (64 connections, 4 tenants, 128 submissions) -- the CI
+// smoke leg uses it against an unbounded server, so its 429 count is
+// deterministically zero and safe to gate on.
+//
+// Emits BENCH_<NAME>.json (default NAME "server"; same schema family as
+// the bench harnesses): one overall record with p50/p95/p99 latency,
+// throughput and the 429 rate, plus one record per tenant with its
+// delivered throughput. Exit code is 0 when every request got an HTTP
+// response (429s included -- backpressure is an answer, not a failure)
+// and 1 on connect/protocol failures.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "io/csv_reader.h"
+#include "io/model_io.h"
+
+namespace {
+
+using namespace slade;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  load_driver --port P [--host H] [--connections N] [--repeat R]\n"
+      "              (--workload TIMED.csv [--speed X] | --smoke)\n"
+      "              [--out NAME] \n");
+  return 2;
+}
+
+std::optional<std::map<std::string, std::string>> ParseFlags(int argc,
+                                                             char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* key = argv[i];
+    if (std::strncmp(key, "--", 2) != 0) return std::nullopt;
+    if (std::strcmp(key, "--smoke") == 0) {
+      flags["smoke"] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) return std::nullopt;
+    flags[key + 2] = argv[++i];
+  }
+  return flags;
+}
+
+struct Sample {
+  int status_code = 0;       ///< 0 = transport failure
+  double latency_seconds = 0.0;
+  std::string tenant;
+};
+
+/// One keep-alive client connection with a blocking socket.
+class ClientConnection {
+ public:
+  ClientConnection(std::string host, uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+  ~ClientConnection() { Close(); }
+
+  bool EnsureConnected() {
+    if (fd_ >= 0) return true;
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port_);
+    if (inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1 ||
+        connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      Close();
+      return false;
+    }
+    const int one = 1;
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      close(fd_);
+      fd_ = -1;
+    }
+    residual_.clear();
+  }
+
+  /// Sends one request and reads one response; returns the status code or
+  /// 0 on a transport/framing failure (the connection is closed then).
+  int RoundTrip(const std::string& request) {
+    if (!EnsureConnected()) return 0;
+    size_t sent = 0;
+    while (sent < request.size()) {
+      const ssize_t n =
+          send(fd_, request.data() + sent, request.size() - sent, 0);
+      if (n <= 0) {
+        Close();
+        return 0;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    // Read the response head (status line + headers).
+    std::string head = std::move(residual_);
+    residual_.clear();
+    size_t header_end;
+    while ((header_end = head.find("\r\n\r\n")) == std::string::npos) {
+      char buf[8192];
+      const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0 || head.size() > (1u << 20)) {
+        Close();
+        return 0;
+      }
+      head.append(buf, static_cast<size_t>(n));
+    }
+    const int status = ParseStatus(head);
+    const size_t body_len = ParseContentLength(head, header_end);
+    // Read (and discard) the body; keep pipelined leftovers for the next
+    // response on this connection.
+    size_t have = head.size() - (header_end + 4);
+    while (have < body_len) {
+      char buf[8192];
+      const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        Close();
+        return 0;
+      }
+      head.append(buf, static_cast<size_t>(n));
+      have += static_cast<size_t>(n);
+    }
+    residual_ = head.substr(header_end + 4 + body_len);
+    if (ConnectionCloses(head, header_end)) Close();
+    return status;
+  }
+
+ private:
+  static int ParseStatus(const std::string& head) {
+    // "HTTP/1.1 200 OK"
+    const size_t sp = head.find(' ');
+    if (sp == std::string::npos || sp + 4 > head.size()) return 0;
+    return std::atoi(head.c_str() + sp + 1);
+  }
+
+  static std::string LowerHead(const std::string& head, size_t header_end) {
+    std::string lower = head.substr(0, header_end);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) {
+                     return static_cast<char>(std::tolower(c));
+                   });
+    return lower;
+  }
+
+  static size_t ParseContentLength(const std::string& head,
+                                   size_t header_end) {
+    const std::string lower = LowerHead(head, header_end);
+    const size_t pos = lower.find("content-length:");
+    if (pos == std::string::npos) return 0;
+    return static_cast<size_t>(
+        std::strtoull(lower.c_str() + pos + 15, nullptr, 10));
+  }
+
+  static bool ConnectionCloses(const std::string& head, size_t header_end) {
+    return LowerHead(head, header_end).find("connection: close") !=
+           std::string::npos;
+  }
+
+  const std::string host_;
+  const uint16_t port_;
+  int fd_ = -1;
+  std::string residual_;  ///< bytes past the last response's body
+};
+
+std::string BuildSubmitRequest(const std::string& host,
+                               const TimedSubmission& submission) {
+  std::string body = "{\"requester\": \"" + submission.requester +
+                     "\", \"tasks\": [";
+  for (size_t i = 0; i < submission.tasks.size(); ++i) {
+    if (i > 0) body += ", ";
+    body += "[";
+    const auto& thresholds = submission.tasks[i].thresholds();
+    for (size_t k = 0; k < thresholds.size(); ++k) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%s%.9g", k > 0 ? ", " : "",
+                    thresholds[k]);
+      body += buf;
+    }
+    body += "]";
+  }
+  body += "]}";
+  return "POST /v1/submit HTTP/1.1\r\nHost: " + host +
+         "\r\nContent-Type: application/json\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+/// The --smoke workload: deterministic, small, multi-tenant. 128
+/// submissions round-robined over 4 tenants, 1-3 tasks each with
+/// thresholds stepped over a fixed grid -- no RNG, so every run and every
+/// machine produces the same byte stream.
+std::vector<TimedSubmission> SmokeWorkload() {
+  const char* tenants[] = {"gold", "silver", "bronze", "free"};
+  std::vector<TimedSubmission> out;
+  out.reserve(128);
+  for (int i = 0; i < 128; ++i) {
+    TimedSubmission submission;
+    submission.arrival_ms = i;
+    submission.requester = tenants[i % 4];
+    const int num_tasks = 1 + (i % 3);
+    for (int t = 0; t < num_tasks; ++t) {
+      const double threshold = 0.85 + 0.01 * ((i + t) % 10);
+      auto task = CrowdsourcingTask::Homogeneous(1 + (i + t) % 4, threshold);
+      submission.tasks.push_back(std::move(*task));
+    }
+    out.push_back(std::move(submission));
+  }
+  return out;
+}
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(sorted->size() - 1) + 0.5);
+  return (*sorted)[std::min(index, sorted->size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = ParseFlags(argc, argv);
+  if (!flags) return Usage();
+
+  auto port_flag = flags->find("port");
+  if (port_flag == flags->end()) return Usage();
+  const unsigned long port_raw =
+      std::strtoul(port_flag->second.c_str(), nullptr, 10);
+  if (port_raw == 0 || port_raw > 65535) {
+    return Fail("--port expects an integer in [1, 65535]");
+  }
+  const uint16_t port = static_cast<uint16_t>(port_raw);
+  const std::string host =
+      flags->count("host") ? flags->at("host") : "127.0.0.1";
+  const bool smoke = flags->count("smoke") != 0;
+
+  std::vector<TimedSubmission> workload;
+  if (smoke) {
+    workload = SmokeWorkload();
+  } else if (auto it = flags->find("workload"); it != flags->end()) {
+    auto loaded = LoadTimedWorkloadCsv(it->second);
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    workload = std::move(*loaded);
+  } else {
+    return Usage();
+  }
+  if (workload.empty()) return Fail("workload is empty");
+
+  size_t connections = smoke ? 64 : 8;
+  if (auto it = flags->find("connections"); it != flags->end()) {
+    connections = static_cast<size_t>(
+        std::strtoul(it->second.c_str(), nullptr, 10));
+    if (connections == 0 || connections > 4096) {
+      return Fail("--connections expects an integer in [1, 4096]");
+    }
+  }
+  size_t repeat = 1;
+  if (auto it = flags->find("repeat"); it != flags->end()) {
+    repeat = static_cast<size_t>(
+        std::strtoul(it->second.c_str(), nullptr, 10));
+    if (repeat == 0 || repeat > 10000) {
+      return Fail("--repeat expects an integer in [1, 10000]");
+    }
+  }
+  double speed = 0.0;
+  if (auto it = flags->find("speed"); it != flags->end()) {
+    speed = std::strtod(it->second.c_str(), nullptr);
+    if (speed < 0.0) return Fail("--speed expects a number >= 0");
+  }
+  const std::string out_name =
+      flags->count("out") ? flags->at("out") : "server";
+
+  // Pre-render every request; the measured section only moves bytes.
+  std::vector<std::string> requests;
+  requests.reserve(workload.size());
+  for (const TimedSubmission& submission : workload) {
+    requests.push_back(BuildSubmitRequest(host, submission));
+  }
+
+  // Each connection thread owns the submissions with index % connections
+  // == its id, repeated --repeat times; pacing follows recorded arrivals
+  // scaled by --speed.
+  std::vector<std::vector<Sample>> samples_per_thread(connections);
+  std::atomic<uint64_t> transport_failures{0};
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (size_t thread_id = 0; thread_id < connections; ++thread_id) {
+    threads.emplace_back([&, thread_id] {
+      ClientConnection conn(host, port);
+      std::vector<Sample>& samples = samples_per_thread[thread_id];
+      for (size_t round = 0; round < repeat; ++round) {
+        for (size_t i = thread_id; i < workload.size(); i += connections) {
+          if (speed > 0.0) {
+            const double due = workload[i].arrival_ms / 1e3 / speed;
+            const double now = wall.ElapsedSeconds();
+            if (due > now) {
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double>(due - now));
+            }
+          }
+          Sample sample;
+          sample.tenant = workload[i].requester;
+          Stopwatch latency;
+          sample.status_code = conn.RoundTrip(requests[i]);
+          sample.latency_seconds = latency.ElapsedSeconds();
+          if (sample.status_code == 0) {
+            transport_failures.fetch_add(1);
+          }
+          samples.push_back(std::move(sample));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  // Aggregate.
+  std::vector<double> latencies;
+  uint64_t total = 0, ok_2xx = 0, rejected_429 = 0, other_error = 0;
+  struct TenantAgg {
+    uint64_t requests = 0;
+    uint64_t ok_2xx = 0;
+    double latency_sum = 0.0;
+  };
+  std::map<std::string, TenantAgg> tenants;
+  for (const std::vector<Sample>& samples : samples_per_thread) {
+    for (const Sample& sample : samples) {
+      total += 1;
+      TenantAgg& agg = tenants[sample.tenant];
+      agg.requests += 1;
+      agg.latency_sum += sample.latency_seconds;
+      if (sample.status_code >= 200 && sample.status_code < 300) {
+        ok_2xx += 1;
+        agg.ok_2xx += 1;
+        latencies.push_back(sample.latency_seconds);
+      } else if (sample.status_code == 429) {
+        rejected_429 += 1;
+      } else {
+        other_error += 1;
+      }
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = Percentile(&latencies, 0.50);
+  const double p95 = Percentile(&latencies, 0.95);
+  const double p99 = Percentile(&latencies, 0.99);
+  const double throughput =
+      wall_seconds > 0.0 ? static_cast<double>(total) / wall_seconds : 0.0;
+  const double rate_429 =
+      total > 0 ? static_cast<double>(rejected_429) /
+                      static_cast<double>(total)
+                : 0.0;
+
+  std::printf(
+      "%llu requests over %zu connections in %.3f s (%.0f req/s)\n"
+      "  2xx %llu, 429 %llu (%.2f%%), other %llu, transport failures %llu\n"
+      "  latency p50 %.1f ms, p95 %.1f ms, p99 %.1f ms\n",
+      static_cast<unsigned long long>(total), connections, wall_seconds,
+      throughput, static_cast<unsigned long long>(ok_2xx),
+      static_cast<unsigned long long>(rejected_429), rate_429 * 100.0,
+      static_cast<unsigned long long>(other_error),
+      static_cast<unsigned long long>(transport_failures.load()),
+      p50 * 1e3, p95 * 1e3, p99 * 1e3);
+  for (const auto& [tenant, agg] : tenants) {
+    std::printf("  tenant %-10s %6llu requests, %6llu delivered, "
+                "mean latency %.1f ms\n",
+                tenant.c_str(),
+                static_cast<unsigned long long>(agg.requests),
+                static_cast<unsigned long long>(agg.ok_2xx),
+                agg.requests > 0
+                    ? agg.latency_sum / static_cast<double>(agg.requests) *
+                          1e3
+                    : 0.0);
+  }
+
+  slade_bench::BenchJsonWriter json(out_name);
+  json.BeginRecord();
+  json.Field("scope", "overall");
+  json.Field("connections", static_cast<double>(connections));
+  json.Field("requests", static_cast<double>(total));
+  json.Field("requests_per_second", throughput);
+  json.Field("p50_latency_seconds", p50);
+  json.Field("p95_latency_seconds", p95);
+  json.Field("p99_latency_seconds", p99);
+  json.Field("rejected_429", static_cast<double>(rejected_429));
+  json.Field("rejected_429_rate", rate_429);
+  json.Field("transport_failures",
+             static_cast<double>(transport_failures.load()));
+  for (const auto& [tenant, agg] : tenants) {
+    json.BeginRecord();
+    json.Field("scope", "tenant");
+    json.Field("tenant", tenant);
+    json.Field("requests", static_cast<double>(agg.requests));
+    json.Field("delivered", static_cast<double>(agg.ok_2xx));
+    json.Field("requests_per_second",
+               wall_seconds > 0.0
+                   ? static_cast<double>(agg.requests) / wall_seconds
+                   : 0.0);
+  }
+  json.Write();
+
+  if (transport_failures.load() > 0 || other_error > 0) return 1;
+  return 0;
+}

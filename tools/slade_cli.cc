@@ -45,6 +45,23 @@
 //       and shed submissions are reported, not fatal). All limits
 //       default to 0 = unbounded.
 //
+//   slade_cli serve    (--profile F | --dataset jelly|smic
+//                       [--max-cardinality M])
+//                      [--port P] [--address A] [--workers N]
+//                      [--max-connections N] [--retry-after S]
+//                      [--max-body-bytes B]
+//                      [--fairness] [--fair-quantum N] [--default-weight W]
+//                      [--tenant-weights a=2,b=1] [--tenant-max-atomic N]
+//                      [--tenant-max-bytes B]
+//                      [+ the stream admission/backpressure flags]
+//       Serve the streaming engine over HTTP/1.1 (POST /v1/submit,
+//       GET /v1/stats, GET /healthz) until SIGINT/SIGTERM, then shut
+//       down gracefully: in-flight requests finish and every admitted
+//       submission is answered. --port 0 binds an ephemeral port (the
+//       bound port is printed). The fairness flags enable per-tenant
+//       pending quotas and weighted-fair micro-batch scheduling;
+//       specifying any of them implies --fairness.
+//
 //   slade_cli serve-loop --dataset jelly|smic --workload TIMED.csv
 //                      [--max-cardinality M] [--rounds R]
 //                      [--inference majority|ds] [--dispatch-threads K]
@@ -73,7 +90,9 @@
 //       stragglers (fraction F at X times the latency) and platform
 //       outages (every P posts, L posts down).
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <future>
@@ -93,6 +112,7 @@
 #include "engine/streaming_engine.h"
 #include "io/csv_reader.h"
 #include "io/model_io.h"
+#include "server/slade_server.h"
 #include "solver/fixed_cardinality_solver.h"
 #include "solver/opq_builder.h"
 #include "solver/plan_validator.h"
@@ -134,6 +154,16 @@ int Usage() {
       " [--cache-shards S]\n"
       "                     [--queue-max-atomic N] [--queue-max-bytes B]\n"
       "                     [--backpressure block|reject|shed-oldest]\n"
+      "  slade_cli serve    (--profile FILE | --dataset jelly|smic "
+      "[--max-cardinality M])\n"
+      "                     [--port P] [--address A] [--workers N] "
+      "[--max-connections N]\n"
+      "                     [--retry-after S] [--max-body-bytes B] "
+      "[--fairness]\n"
+      "                     [--fair-quantum N] [--default-weight W] "
+      "[--tenant-weights a=2,b=1]\n"
+      "                     [--tenant-max-atomic N] [--tenant-max-bytes B]\n"
+      "                     [+ the stream admission/backpressure flags]\n"
       "  slade_cli serve-loop --dataset jelly|smic --workload FILE\n"
       "                     [--max-cardinality M] [--rounds R] "
       "[--inference majority|ds]\n"
@@ -159,8 +189,9 @@ std::optional<std::map<std::string, std::string>> ParseFlags(
   for (int i = start; i < argc; ++i) {
     const char* key = argv[i];
     if (std::strncmp(key, "--", 2) != 0) return std::nullopt;
-    if (std::strcmp(key, "--verbose") == 0) {
-      flags["verbose"] = "1";
+    if (std::strcmp(key, "--verbose") == 0 ||
+        std::strcmp(key, "--fairness") == 0) {
+      flags[key + 2] = "1";
       continue;
     }
     if (i + 1 >= argc) return std::nullopt;
@@ -652,6 +683,165 @@ int CmdStream(const std::map<std::string, std::string>& flags) {
   return all_feasible ? 0 : 3;
 }
 
+std::atomic<bool> g_serve_stop{false};
+
+void OnServeSignal(int) { g_serve_stop.store(true); }
+
+/// Parses the fairness flags shared with FairnessOptions; giving any of
+/// them implies --fairness.
+bool ParseFairnessFlags(const std::map<std::string, std::string>& flags,
+                        FairnessOptions* fairness) {
+  fairness->enabled =
+      flags.count("fairness") || flags.count("fair-quantum") ||
+      flags.count("default-weight") || flags.count("tenant-weights") ||
+      flags.count("tenant-max-atomic") || flags.count("tenant-max-bytes");
+  if (!ParseUintFlag(flags, "fair-quantum", &fairness->quantum_atomic_tasks) ||
+      !ParseUintFlag(flags, "default-weight", &fairness->default_weight) ||
+      !ParseUintFlag(flags, "tenant-max-atomic",
+                     &fairness->tenant_max_pending_atomic_tasks) ||
+      !ParseUintFlag(flags, "tenant-max-bytes",
+                     &fairness->tenant_max_pending_bytes)) {
+    return false;
+  }
+  if (auto it = flags.find("tenant-weights"); it != flags.end()) {
+    // Comma-separated name=weight pairs: --tenant-weights gold=4,free=1
+    std::string spec = it->second;
+    size_t begin = 0;
+    while (begin <= spec.size()) {
+      size_t end = spec.find(',', begin);
+      if (end == std::string::npos) end = spec.size();
+      const std::string pair = spec.substr(begin, end - begin);
+      const size_t eq = pair.find('=');
+      uint64_t weight = 0;
+      if (eq == 0 || eq == std::string::npos ||
+          !ParseUint(pair.substr(eq + 1)).ok() ||
+          (weight = *ParseUint(pair.substr(eq + 1))) == 0) {
+        Fail("--tenant-weights expects name=W pairs with W >= 1, got '" +
+             pair + "'");
+        return false;
+      }
+      fairness->weights[pair.substr(0, eq)] = weight;
+      begin = end + 1;
+      if (end == spec.size()) break;
+    }
+  }
+  return true;
+}
+
+int CmdServe(const std::map<std::string, std::string>& flags) {
+  // The bin profile comes from a CSV or a built-in dataset model.
+  Result<BinProfile> profile = Status::Internal("unreachable");
+  if (auto it = flags.find("profile"); it != flags.end()) {
+    profile = LoadBinProfileCsv(it->second);
+  } else if (auto dataset = flags.find("dataset"); dataset != flags.end()) {
+    DatasetKind kind;
+    if (dataset->second == "jelly") {
+      kind = DatasetKind::kJelly;
+    } else if (dataset->second == "smic") {
+      kind = DatasetKind::kSmic;
+    } else {
+      return Fail("unknown dataset: " + dataset->second);
+    }
+    uint64_t max_cardinality = 10;
+    if (!ParseUintFlag(flags, "max-cardinality", &max_cardinality)) return 1;
+    if (max_cardinality == 0 || max_cardinality > 64) {
+      return Fail("--max-cardinality expects an integer in [1, 64]");
+    }
+    profile = BuildProfile(MakeModel(kind),
+                           static_cast<uint32_t>(max_cardinality));
+  } else {
+    return Usage();
+  }
+  if (!profile.ok()) return Fail(profile.status().ToString());
+
+  StreamingOptions options;
+  auto parse_size = [&](const char* key, size_t* out) -> bool {
+    uint64_t value = *out;
+    if (!ParseUintFlag(flags, key, &value)) return false;
+    *out = static_cast<size_t>(value);
+    return true;
+  };
+  if (!parse_size("max-pending-atomic", &options.max_pending_atomic_tasks) ||
+      !parse_size("max-pending-submissions",
+                  &options.max_pending_submissions)) {
+    return 1;
+  }
+  double max_delay_ms = options.max_delay_seconds * 1e3;
+  if (!ParseDoubleFlag(flags, "max-delay-ms", 0.0, 1e9, &max_delay_ms)) {
+    return 1;
+  }
+  options.max_delay_seconds = max_delay_ms / 1e3;
+  if (!ParseThreadsFlag(flags, &options.num_threads)) return 1;
+  if (!ParseSharingFlag(flags, &options.sharing)) return 1;
+  if (!ParseResourceFlags(flags, &options.resources)) return 1;
+  if (!ParseFairnessFlags(flags, &options.fairness)) return 1;
+
+  ServerOptions server_options;
+  uint64_t port = 8080;
+  uint64_t workers = server_options.num_workers;
+  uint64_t max_connections = server_options.max_connections;
+  uint64_t max_body = server_options.parser_limits.max_body_bytes;
+  if (!ParseUintFlag(flags, "port", &port) ||
+      !ParseUintFlag(flags, "workers", &workers) ||
+      !ParseUintFlag(flags, "max-connections", &max_connections) ||
+      !ParseUintFlag(flags, "retry-after",
+                     &server_options.retry_after_seconds) ||
+      !ParseUintFlag(flags, "max-body-bytes", &max_body)) {
+    return 1;
+  }
+  if (port > 65535) return Fail("--port expects an integer in [0, 65535]");
+  if (workers == 0 || workers > 256) {
+    return Fail("--workers expects an integer in [1, 256]");
+  }
+  if (max_connections == 0) return Fail("--max-connections must be >= 1");
+  if (max_body == 0) return Fail("--max-body-bytes must be >= 1");
+  server_options.port = static_cast<uint16_t>(port);
+  server_options.num_workers = static_cast<size_t>(workers);
+  server_options.max_connections = static_cast<size_t>(max_connections);
+  server_options.parser_limits.max_body_bytes = static_cast<size_t>(max_body);
+  if (auto it = flags.find("address"); it != flags.end()) {
+    server_options.address = it->second;
+  }
+
+  StreamingEngine engine(*profile, options);
+  SladeServer server(&engine, server_options);
+  if (Status st = server.Start(); !st.ok()) return Fail(st.ToString());
+
+  std::printf("listening on %s:%u (%zu workers, %s sharing, fairness %s, "
+              "backpressure %s)\n",
+              server_options.address.c_str(), server.port(),
+              server_options.num_workers, BatchSharingName(options.sharing),
+              options.fairness.enabled ? "on" : "off",
+              BackpressurePolicyName(options.resources.backpressure));
+  std::fflush(stdout);  // scripts parse the bound port from this line
+
+  std::signal(SIGINT, OnServeSignal);
+  std::signal(SIGTERM, OnServeSignal);
+  while (!g_serve_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("shutting down: draining in-flight requests\n");
+  server.Shutdown();
+  engine.Drain();
+
+  const ServerStats stats = server.stats();
+  const StreamingStats engine_stats = engine.stats();
+  std::printf(
+      "served %llu requests over %llu connections "
+      "(%llu 2xx, %llu 4xx, %llu 5xx, %llu backpressure 429s)\n"
+      "engine: %llu submissions, %llu flushes, solve %.3f s, cost %.4f\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.responses_2xx),
+      static_cast<unsigned long long>(stats.responses_4xx),
+      static_cast<unsigned long long>(stats.responses_5xx),
+      static_cast<unsigned long long>(stats.rejected_429),
+      static_cast<unsigned long long>(engine_stats.submissions),
+      static_cast<unsigned long long>(engine_stats.flushes),
+      engine_stats.solve_seconds, engine_stats.total_cost);
+  return 0;
+}
+
 int CmdServeLoop(const std::map<std::string, std::string>& flags) {
   auto dataset = flags.find("dataset");
   auto workload_flag = flags.find("workload");
@@ -855,6 +1045,7 @@ int main(int argc, char** argv) {
   if (command == "validate") return CmdValidate(*flags);
   if (command == "batch") return CmdBatch(*flags);
   if (command == "stream") return CmdStream(*flags);
+  if (command == "serve") return CmdServe(*flags);
   if (command == "serve-loop") return CmdServeLoop(*flags);
   return Usage();
 }
