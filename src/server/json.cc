@@ -334,7 +334,13 @@ void JsonWriter::Value(double number) {
   Prefix();
   char buf[64];
   if (std::isfinite(number)) {
-    std::snprintf(buf, sizeof(buf), "%.9g", number);
+    // Shortest representation that round-trips exactly: doubles need up
+    // to 17 significant digits, but most values re-read exactly from 15
+    // or 16, which keeps the output readable.
+    for (int precision = 15; precision <= 17; ++precision) {
+      std::snprintf(buf, sizeof(buf), "%.*g", precision, number);
+      if (std::strtod(buf, nullptr) == number) break;
+    }
   } else {
     // JSON has no NaN/Inf; null is the least-bad representation.
     std::snprintf(buf, sizeof(buf), "null");

@@ -126,7 +126,13 @@ void SladeServer::Shutdown() {
     return;
   }
   NotifyLoop();
-  work_cv_.notify_all();
+  {
+    // Notify under work_mutex_: a worker that just evaluated the wait
+    // predicate (saw stopping_ == false) still holds the mutex until it
+    // blocks, so this cannot slip between its check and its sleep.
+    std::lock_guard<std::mutex> lock(work_mutex_);
+    work_cv_.notify_all();
+  }
   if (loop_thread_.joinable()) loop_thread_.join();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
@@ -229,7 +235,8 @@ void SladeServer::EventLoop() {
         continue;
       }
       if ((fds[i].revents & POLLIN) && !ReadAndDispatch(conn_id, conn)) {
-        continue;  // connection closed
+        CloseConnection(conn_id);
+        continue;
       }
     }
 
@@ -248,8 +255,10 @@ void SladeServer::EventLoop() {
                  conn.parser.state() != HttpParseState::kNeedMore) {
         // A pipelined request (or a parse error on pipelined bytes)
         // resolved while the previous response was in flight; handle it
-        // now -- no more bytes may ever arrive to trigger POLLIN.
-        if (!ReadAndDispatch(conn_id, &conn)) continue;
+        // now -- no more bytes may ever arrive to trigger POLLIN. A dead
+        // connection is deferred to to_close: erasing here would
+        // invalidate this range-for's iterator.
+        if (!ReadAndDispatch(conn_id, &conn)) to_close.push_back(conn_id);
       }
     }
     for (const uint64_t conn_id : to_close) CloseConnection(conn_id);
@@ -314,11 +323,9 @@ bool SladeServer::ReadAndDispatch(uint64_t conn_id, Connection* conn) {
       }
       if (n == 0) {
         // Peer closed. Anything half-parsed is abandoned.
-        CloseConnection(conn_id);
         return false;
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      CloseConnection(conn_id);
       return false;
     }
   }
@@ -417,7 +424,8 @@ void SladeServer::WorkerLoop() {
 std::string SladeServer::RenderResponse(int status_code,
                                         const std::string& body,
                                         bool close_connection,
-                                        const std::string& extra_headers) {
+                                        const std::string& extra_headers,
+                                        bool head_only) {
   std::string out = "HTTP/1.1 " + std::to_string(status_code) + " " +
                     ReasonPhrase(status_code) + "\r\n";
   out += "Content-Type: application/json\r\n";
@@ -425,7 +433,7 @@ std::string SladeServer::RenderResponse(int status_code,
   out += extra_headers;
   if (close_connection) out += "Connection: close\r\n";
   out += "\r\n";
-  out += body;
+  if (!head_only) out += body;
   return out;
 }
 
@@ -487,7 +495,10 @@ std::string SladeServer::Handle(const HttpRequest& request,
     // connection for a retry.
     *close_connection = true;
   }
-  return RenderResponse(status_code, body, *close_connection, extra_headers);
+  // HEAD responses must not carry a body (only /healthz accepts HEAD,
+  // but 405s and 404s on HEAD requests must obey this too).
+  return RenderResponse(status_code, body, *close_connection, extra_headers,
+                        /*head_only=*/request.method == "HEAD");
 }
 
 std::string SladeServer::HandleSubmit(const HttpRequest& request,

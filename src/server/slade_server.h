@@ -134,7 +134,9 @@ class SladeServer {
   void WorkerLoop();
   void AcceptPending();
   /// Reads from `conn`, feeds the parser, dispatches at most one request
-  /// or queues an error response. Returns false when the connection died.
+  /// or queues an error response. Returns false when the connection died;
+  /// the caller must CloseConnection (never erases connections_ itself,
+  /// so it is safe to call while iterating the map).
   bool ReadAndDispatch(uint64_t conn_id, Connection* conn);
   /// Flushes the outbox. Returns false when the connection died.
   bool WriteOut(Connection* conn);
@@ -146,9 +148,12 @@ class SladeServer {
   std::string Handle(const HttpRequest& request, bool* close_connection);
   std::string HandleSubmit(const HttpRequest& request, int* status_code);
   std::string HandleStats();
+  /// `head_only` (HEAD requests) sends the headers -- Content-Length
+  /// still describes the body a GET would return -- but omits the body.
   static std::string RenderResponse(int status_code, const std::string& body,
                                     bool close_connection,
-                                    const std::string& extra_headers);
+                                    const std::string& extra_headers,
+                                    bool head_only = false);
 
   StreamingEngine* const engine_;
   const ServerOptions options_;

@@ -1,0 +1,90 @@
+// JSON writer/parser round-trip tests. The load-bearing property is that
+// JsonWriter::Value(double) emits enough digits to round-trip exactly
+// (costs and latencies in API responses must not be silently rounded)
+// while still printing short values readably.
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/json.h"
+
+namespace slade {
+namespace {
+
+std::string WriteDouble(double value) {
+  JsonWriter w;
+  w.Value(value);
+  return std::move(w).Take();
+}
+
+TEST(JsonWriterTest, DoublesRoundTripExactly) {
+  const std::vector<double> values = {
+      0.0,
+      0.1,                                    // not representable exactly
+      1.0 / 3.0,                              // needs 17 digits
+      2.0 / 3.0,
+      0.123456789012345678,
+      1e-308,                                 // near-denormal range
+      1.7976931348623157e308,                 // max double
+      std::numeric_limits<double>::epsilon(),
+      123456.789012345678,
+      -9876.54321098765432,
+      3.141592653589793,
+  };
+  for (const double value : values) {
+    const std::string text = WriteDouble(value);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), value)
+        << "lossy serialization: " << text;
+    // And the repo's own parser agrees.
+    const Result<JsonValue> parsed = JsonValue::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed->number, value) << text;
+  }
+}
+
+TEST(JsonWriterTest, ShortDoublesStayReadable) {
+  // Shortest-round-trip: values exactly representable at low precision
+  // must not be padded out to 17 digits.
+  EXPECT_EQ(WriteDouble(0.5), "0.5");
+  EXPECT_EQ(WriteDouble(2.0), "2");
+  EXPECT_EQ(WriteDouble(-1.25), "-1.25");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(WriteDouble(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(WriteDouble(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(WriteDouble(std::nan("")), "null");
+}
+
+TEST(JsonWriterTest, NestedDocumentParsesBack) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("cost");
+  w.Value(1.0 / 3.0);
+  w.Key("tenants");
+  w.BeginArray();
+  w.Value("a\"b");  // escaping exercised
+  w.Value(uint64_t{42});
+  w.EndArray();
+  w.EndObject();
+  const std::string doc = std::move(w).Take();
+
+  const Result<JsonValue> parsed = JsonValue::Parse(doc);
+  ASSERT_TRUE(parsed.ok()) << doc;
+  const JsonValue* cost = parsed->Find("cost");
+  ASSERT_NE(cost, nullptr);
+  EXPECT_EQ(cost->number, 1.0 / 3.0);
+  const JsonValue* tenants = parsed->Find("tenants");
+  ASSERT_NE(tenants, nullptr);
+  ASSERT_EQ(tenants->items.size(), 2u);
+  EXPECT_EQ(tenants->items[0].string, "a\"b");
+  EXPECT_EQ(tenants->items[1].number, 42.0);
+}
+
+}  // namespace
+}  // namespace slade

@@ -248,6 +248,63 @@ TEST_F(ServerIntegrationTest, KeepAliveServesSequentialRequests) {
   close(fd);
 }
 
+TEST_F(ServerIntegrationTest, HeadHealthzSendsHeadersButNoBody) {
+  StartServer(FastFlushOptions());
+  const uint16_t port = server_->port();
+  // Measure what GET would return so we can pin HEAD's Content-Length.
+  const std::string get_response =
+      RoundTrip(port, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  const size_t get_header_end = get_response.find("\r\n\r\n");
+  ASSERT_NE(get_header_end, std::string::npos);
+  const size_t get_body_size = get_response.size() - (get_header_end + 4);
+  ASSERT_GT(get_body_size, 0u);
+
+  const std::string head_response =
+      RoundTrip(port, "HEAD /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(StatusCodeOf(head_response), 200);
+  // Content-Length advertises the body a GET would produce...
+  EXPECT_NE(head_response.find(
+                "Content-Length: " + std::to_string(get_body_size)),
+            std::string::npos)
+      << head_response;
+  // ...but the response ends at the blank line: no body bytes follow.
+  const size_t header_end = head_response.find("\r\n\r\n");
+  ASSERT_NE(header_end, std::string::npos);
+  EXPECT_EQ(head_response.size(), header_end + 4) << head_response;
+
+  // HEAD on a non-HEAD route gets a body-less 405, same rule.
+  const std::string head_stats =
+      RoundTrip(port, "HEAD /v1/stats HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(StatusCodeOf(head_stats), 405);
+  const size_t stats_header_end = head_stats.find("\r\n\r\n");
+  ASSERT_NE(stats_header_end, std::string::npos);
+  EXPECT_EQ(head_stats.size(), stats_header_end + 4) << head_stats;
+}
+
+TEST_F(ServerIntegrationTest, PipelinedGarbageThenCloseIsHandledCleanly) {
+  // Regression: a valid request with garbage pipelined behind it, then a
+  // peer close. The garbage poisons the parser while a worker owns the
+  // first request; when the response flushes, the event loop's flush
+  // pass must tear the connection down without invalidating its own
+  // iteration over the connection map (previously UB under ASan).
+  StartServer(FastFlushOptions());
+  const uint16_t port = server_->port();
+  for (int i = 0; i < 8; ++i) {
+    const std::string response = RoundTrip(
+        port,
+        "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\ngarbage bytes\r\n\r\n");
+    // The first request is answered; the poisoned tail yields either a
+    // trailing 400 or a plain close depending on timing. Both are fine;
+    // a torn first response is not.
+    EXPECT_EQ(StatusCodeOf(response), 200) << response;
+    EXPECT_NE(response.find("\"ok\""), std::string::npos) << response;
+  }
+  // The server is still healthy afterwards.
+  EXPECT_EQ(StatusCodeOf(RoundTrip(
+                port, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")),
+            200);
+}
+
 TEST_F(ServerIntegrationTest, GracefulShutdownAnswersInFlightRequests) {
   StartServer(FastFlushOptions());
   const uint16_t port = server_->port();
