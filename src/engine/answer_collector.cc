@@ -4,6 +4,55 @@
 #include <utility>
 
 namespace slade {
+namespace {
+
+/// One validated, globally-addressed unit of dispatch work.
+struct DispatchJob {
+  BinPlacement placement;   // tasks rewritten to global ids
+  std::vector<bool> truth;  // ground truth per contained task
+};
+
+// Validates and pre-translates every placement before anything is
+// enqueued, so a malformed plan never half-dispatches. Shared between the
+// AoS and columnar Dispatch overloads via the placement-view accessor.
+template <typename ViewFn>
+Result<std::vector<DispatchJob>> BuildDispatchJobs(
+    size_t num_placements, ViewFn view,
+    const std::vector<TaskId>& global_of_local,
+    const std::vector<bool>& ground_truth) {
+  std::vector<DispatchJob> jobs;
+  jobs.reserve(num_placements);
+  for (size_t pi = 0; pi < num_placements; ++pi) {
+    const ColumnarPlan::PlacementView p = view(pi);
+    if (p.num_tasks == 0) continue;
+    DispatchJob job;
+    job.placement.cardinality = p.cardinality;
+    job.placement.copies = p.copies;
+    job.placement.tasks.reserve(p.num_tasks);
+    job.truth.reserve(p.num_tasks);
+    for (uint32_t k = 0; k < p.num_tasks; ++k) {
+      TaskId id = p.tasks[k];
+      if (id >= global_of_local.size()) {
+        return Status::OutOfRange(
+            "placement references local task " + std::to_string(id) +
+            " but the mapping covers " +
+            std::to_string(global_of_local.size()));
+      }
+      id = global_of_local[id];
+      if (id >= ground_truth.size()) {
+        return Status::OutOfRange("mapped task " + std::to_string(id) +
+                                  " is outside the ground truth (n=" +
+                                  std::to_string(ground_truth.size()) + ")");
+      }
+      job.placement.tasks.push_back(id);
+      job.truth.push_back(ground_truth[id]);
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace
 
 void AnswerCollector::Accept(std::vector<WorkerAnswer> answers, bool overtime,
                              double cost) {
@@ -50,38 +99,39 @@ Status SimulatedDispatcher::Dispatch(const DecompositionPlan& plan,
                                      std::vector<TaskId> global_of_local,
                                      const std::vector<bool>& ground_truth,
                                      AnswerCollector* collector) {
-  // Validate and pre-translate every placement before enqueueing anything,
-  // so a malformed plan never half-dispatches.
-  struct Job {
-    BinPlacement placement;   // tasks rewritten to global ids
-    std::vector<bool> truth;  // ground truth per contained task
-  };
-  std::vector<Job> jobs;
-  jobs.reserve(plan.placements().size());
-  for (const BinPlacement& placement : plan.placements()) {
-    if (placement.tasks.empty()) continue;
-    Job job;
-    job.placement = placement;
-    job.truth.reserve(placement.tasks.size());
-    for (TaskId& id : job.placement.tasks) {
-      if (id >= global_of_local.size()) {
-        return Status::OutOfRange(
-            "placement references local task " + std::to_string(id) +
-            " but the mapping covers " +
-            std::to_string(global_of_local.size()));
-      }
-      id = global_of_local[id];
-      if (id >= ground_truth.size()) {
-        return Status::OutOfRange("mapped task " + std::to_string(id) +
-                                  " is outside the ground truth (n=" +
-                                  std::to_string(ground_truth.size()) + ")");
-      }
-      job.truth.push_back(ground_truth[id]);
-    }
-    jobs.push_back(std::move(job));
+  const std::vector<BinPlacement>& placements = plan.placements();
+  SLADE_ASSIGN_OR_RETURN(
+      std::vector<DispatchJob> jobs,
+      BuildDispatchJobs(
+          placements.size(),
+          [&placements](size_t i) {
+            const BinPlacement& p = placements[i];
+            return ColumnarPlan::PlacementView{
+                p.cardinality, p.copies, p.tasks.data(),
+                static_cast<uint32_t>(p.tasks.size())};
+          },
+          global_of_local, ground_truth));
+  for (DispatchJob& job : jobs) {
+    auto shared = std::make_shared<DispatchJob>(std::move(job));
+    pool_.Submit([this, shared, collector] {
+      PostPlacementCopy(shared->placement, shared->placement.tasks,
+                        shared->truth, collector);
+    });
   }
-  for (Job& job : jobs) {
-    auto shared = std::make_shared<Job>(std::move(job));
+  return Status::OK();
+}
+
+Status SimulatedDispatcher::Dispatch(const ColumnarPlan& plan,
+                                     std::vector<TaskId> global_of_local,
+                                     const std::vector<bool>& ground_truth,
+                                     AnswerCollector* collector) {
+  SLADE_ASSIGN_OR_RETURN(
+      std::vector<DispatchJob> jobs,
+      BuildDispatchJobs(
+          plan.num_placements(), [&plan](size_t i) { return plan.view(i); },
+          global_of_local, ground_truth));
+  for (DispatchJob& job : jobs) {
+    auto shared = std::make_shared<DispatchJob>(std::move(job));
     pool_.Submit([this, shared, collector] {
       PostPlacementCopy(shared->placement, shared->placement.tasks,
                         shared->truth, collector);

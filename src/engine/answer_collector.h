@@ -31,6 +31,7 @@
 #include "simulator/fault_injector.h"
 #include "simulator/platform.h"
 #include "solver/plan.h"
+#include "solver/plan_arena.h"
 
 namespace slade {
 
@@ -90,6 +91,14 @@ class SimulatedDispatcher {
   /// `collector` as posts complete. Fails fast (before enqueueing) on a
   /// placement referencing an id outside the mapping.
   Status Dispatch(const DecompositionPlan& plan,
+                  std::vector<TaskId> global_of_local,
+                  const std::vector<bool>& ground_truth,
+                  AnswerCollector* collector);
+
+  /// Columnar variant: placements are read straight off the flat columns
+  /// (the closed-loop hot path dispatches splitter slices without an AoS
+  /// conversion). Same validation, same posting order.
+  Status Dispatch(const ColumnarPlan& plan,
                   std::vector<TaskId> global_of_local,
                   const std::vector<bool>& ground_truth,
                   AnswerCollector* collector);

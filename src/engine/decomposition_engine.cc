@@ -12,16 +12,6 @@ namespace slade {
 
 namespace {
 
-/// Appends `plan` to `merged` with every task id shifted by `offset`.
-void AppendWithOffset(const DecompositionPlan& plan, size_t offset,
-                      DecompositionPlan* merged) {
-  for (const BinPlacement& p : plan.placements()) {
-    std::vector<TaskId> shifted = p.tasks;
-    for (TaskId& id : shifted) id += static_cast<TaskId>(offset);
-    merged->Add(p.cardinality, p.copies, std::move(shifted));
-  }
-}
-
 std::vector<size_t> ComputeOffsets(
     const std::vector<CrowdsourcingTask>& tasks) {
   std::vector<size_t> offsets(tasks.size() + 1, 0);
@@ -186,7 +176,8 @@ DecompositionEngine::DecompositionEngine(EngineOptions options)
       cache_(CacheOptionsFrom(options.resources)),
       pool_(std::make_unique<ThreadPool>(
           options.num_threads == 0 ? ThreadPool::DefaultThreads()
-                                   : options.num_threads)) {}
+                                   : options.num_threads)),
+      plan_governor_(options.resources.plan_arena_max_bytes, 0) {}
 
 DecompositionEngine::~DecompositionEngine() = default;
 
@@ -208,7 +199,11 @@ Result<BatchReport> DecompositionEngine::SolveBatch(
   // locking is needed beyond the pool's Wait().
   OpqBuildOptions build_options;
   build_options.node_budget = options_.opq_node_budget;
-  std::vector<DecompositionPlan> shard_plans(shards.size());
+  std::vector<ColumnarPlan> shard_plans;
+  shard_plans.reserve(shards.size());
+  for (size_t s = 0; s < shards.size(); ++s) {
+    shard_plans.emplace_back(&plan_governor_);
+  }
   std::vector<ShardStats> shard_stats(shards.size());
   std::vector<Status> shard_status(shards.size());
   ParallelFor(pool_.get(), shards.size(), [&](size_t s) {
@@ -241,24 +236,38 @@ Result<BatchReport> DecompositionEngine::SolveBatch(
     SLADE_RETURN_NOT_OK(st);
   }
 
-  // Merge in shard order: deterministic regardless of execution order. The
-  // merged plan is bulk-reserved so appending the shard plans (whose
-  // placements were themselves bulk-stamped, see ExpandBlocksInto) never
-  // reallocates mid-merge.
+  // Merge in shard order: deterministic regardless of execution order.
+  // Shard ids are already global, so the merge is pure column
+  // concatenation into a once-reserved arena; a single-shard batch just
+  // moves the shard plan.
   BatchReport report;
   report.task_offsets = std::move(offsets);
-  size_t total_placements = 0;
-  for (const DecompositionPlan& plan : shard_plans) {
-    total_placements += plan.placements().size();
-  }
-  report.plan.Reserve(total_placements);
   for (size_t s = 0; s < shards.size(); ++s) {
-    report.plan.Append(std::move(shard_plans[s]));
     report.total_cost += shard_stats[s].cost;
     report.total_bins += shard_stats[s].bins_posted;
     report.opq_cache_hits += shard_stats[s].opq_cache_hit ? 1 : 0;
     report.opq_cache_misses += shard_stats[s].opq_cache_hit ? 0 : 1;
   }
+  if (shards.size() == 1) {
+    report.plan = std::move(shard_plans[0]);
+  } else {
+    ColumnarPlan merged(&plan_governor_);
+    size_t total_placements = 0;
+    size_t total_ids = 0;
+    for (const ColumnarPlan& plan : shard_plans) {
+      total_placements += plan.num_placements();
+      total_ids += plan.num_task_ids();
+    }
+    merged.Reserve(total_placements, total_ids);
+    for (ColumnarPlan& plan : shard_plans) {
+      merged.AppendColumns(plan);
+    }
+    report.plan = std::move(merged);
+  }
+  // The report outlives this engine call (and possibly the engine); keep
+  // the governor's peak counters but drop the live charges and the
+  // pointer before the plan escapes.
+  report.plan.DetachGovernor();
   report.shards = std::move(shard_stats);
   report.wall_seconds = wall.ElapsedSeconds();
   return report;
@@ -280,7 +289,8 @@ Result<BatchReport> SolveBatchSequential(
                            solver->Solve(tasks[k], profile));
     report.total_cost += plan.TotalCost(profile);
     report.total_bins += plan.TotalBinInstances();
-    AppendWithOffset(plan, report.task_offsets[k], &report.plan);
+    report.plan.AppendPlan(plan,
+                           static_cast<TaskId>(report.task_offsets[k]));
   }
   report.wall_seconds = wall.ElapsedSeconds();
   return report;

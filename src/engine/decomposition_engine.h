@@ -29,7 +29,9 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "engine/opq_cache.h"
+#include "engine/resource_governor.h"
 #include "solver/plan.h"
+#include "solver/plan_arena.h"
 #include "solver/solver.h"
 
 namespace slade {
@@ -98,8 +100,13 @@ struct ShardStats {
 ///
 /// The merged plan addresses atomic tasks by *global* id: the atomic tasks
 /// of input task `k` occupy ids [task_offsets[k], task_offsets[k+1]).
+///
+/// The plan is columnar (see solver/plan_arena.h): shard plans are stamped
+/// straight into flat columns and merged by column concatenation, so the
+/// whole batch costs O(arena chunks) allocations instead of one per
+/// placement. Cold-path consumers convert with `plan.ToPlan()`.
 struct BatchReport {
-  DecompositionPlan plan;
+  ColumnarPlan plan;
   std::vector<size_t> task_offsets;  // size = #input tasks + 1
   double total_cost = 0.0;
   uint64_t total_bins = 0;
@@ -147,10 +154,19 @@ class DecompositionEngine {
   const OpqCache& cache() const { return cache_; }
   size_t num_threads() const { return pool_->num_threads(); }
 
+  /// Ledger of plan-arena bytes: shard and merged plans charge this
+  /// governor while a solve is in flight (charges are detached before a
+  /// report escapes, so `counters().peak_bytes` records the high-water
+  /// mark of plan materialization memory per batch).
+  GovernorCounters plan_arena_counters() const {
+    return plan_governor_.counters();
+  }
+
  private:
   EngineOptions options_;
   OpqCache cache_;
   std::unique_ptr<ThreadPool> pool_;
+  ResourceGovernor plan_governor_;
 };
 
 /// \brief Reference implementation: solves each input task independently

@@ -10,6 +10,14 @@ namespace {
 
 /// Shared core: `owner_of_task[k]` is the slice index owning input task `k`
 /// (slice labels already fixed by the caller; empty slices are allowed).
+///
+/// Works directly on the merged plan's columns. Placements owned entirely
+/// by one slice whose local ids are a constant shift of the global ids --
+/// every placement under kIsolated, where an owner's atomic tasks are one
+/// contiguous global range -- are coalesced into runs and copied with
+/// ColumnarPlan::AppendRange (bulk column memcpy, no per-id work beyond
+/// the ownership scan). Mixed placements fall back to per-owner buckets
+/// whose scratch is reused across placements.
 Result<std::vector<RequesterPlan>> SplitByOwner(
     const BatchReport& report, const BinProfile& profile,
     const std::vector<size_t>& owner_of_task,
@@ -35,30 +43,88 @@ Result<std::vector<RequesterPlan>> SplitByOwner(
     slice.task_offsets.push_back(next);
   }
 
-  // Cut each placement: a bin's tasks are bucketed by owner, and every
-  // owner receives the placement with the full (cardinality, copies) --
-  // the bins are posted either way, so each atomic task keeps its exact
-  // reliability contribution.
+  const ColumnarPlan& plan = report.plan;
+  const TaskId* ids = plan.task_ids();
+  const size_t num_placements = plan.num_placements();
+
+  // Active contiguous run of single-owner placements (at most one at a
+  // time; flushed whenever the owner, the id shift, or contiguity breaks).
+  size_t run_begin = num_placements;  // sentinel: no active run
+  size_t run_owner = 0;
+  int64_t run_delta = 0;
+  auto flush_run = [&](size_t end) {
+    if (run_begin == num_placements) return;
+    slices[run_owner].plan.AppendRange(plan, run_begin, end - run_begin,
+                                       run_delta);
+    run_begin = num_placements;
+  };
+
   std::vector<std::vector<TaskId>> buckets(slices.size());
   std::vector<size_t> touched;
-  for (const BinPlacement& p : report.plan.placements()) {
-    touched.clear();
-    for (TaskId id : p.tasks) {
-      if (id >= num_atomic) {
+  for (size_t pi = 0; pi < num_placements; ++pi) {
+    const size_t begin = plan.placement_begin(pi);
+    const size_t end = plan.placement_end(pi);
+    if (begin == end) {
+      // A task-less placement belongs to no slice (matching the bucket
+      // path, which never touches an owner for it).
+      flush_run(pi);
+      continue;
+    }
+
+    // Ownership scan: bounds-check every id and detect the single-owner /
+    // constant-shift case without touching the buckets.
+    for (size_t k = begin; k < end; ++k) {
+      if (ids[k] >= num_atomic) {
         return Status::InvalidArgument(
             "PlanSplitter: merged plan references atomic task " +
-            std::to_string(id) + " outside the batch (" +
+            std::to_string(ids[k]) + " outside the batch (" +
             std::to_string(num_atomic) + " atomic tasks)");
       }
-      std::vector<TaskId>& bucket = buckets[owner_of_atomic[id]];
-      if (bucket.empty()) touched.push_back(owner_of_atomic[id]);
-      bucket.push_back(local_of_global[id]);
     }
+    const uint32_t first_owner = owner_of_atomic[ids[begin]];
+    const int64_t delta = static_cast<int64_t>(local_of_global[ids[begin]]) -
+                          static_cast<int64_t>(ids[begin]);
+    bool shiftable = true;
+    for (size_t k = begin; k < end && shiftable; ++k) {
+      shiftable = owner_of_atomic[ids[k]] == first_owner &&
+                  static_cast<int64_t>(local_of_global[ids[k]]) -
+                          static_cast<int64_t>(ids[k]) ==
+                      delta;
+    }
+
+    if (shiftable) {
+      if (run_begin != num_placements &&
+          (run_owner != first_owner || run_delta != delta)) {
+        flush_run(pi);
+      }
+      if (run_begin == num_placements) {
+        run_begin = pi;
+        run_owner = first_owner;
+        run_delta = delta;
+      }
+      continue;
+    }
+
+    // Mixed placement: bucket the local ids by owner; every owner receives
+    // the placement with the full (cardinality, copies) -- the bins are
+    // posted either way, so each atomic task keeps its exact reliability
+    // contribution.
+    flush_run(pi);
+    touched.clear();
+    for (size_t k = begin; k < end; ++k) {
+      std::vector<TaskId>& bucket = buckets[owner_of_atomic[ids[k]]];
+      if (bucket.empty()) touched.push_back(owner_of_atomic[ids[k]]);
+      bucket.push_back(local_of_global[ids[k]]);
+    }
+    const uint32_t cardinality = plan.cardinalities()[pi];
+    const uint32_t copies = plan.copies()[pi];
     for (size_t o : touched) {
-      slices[o].plan.Add(p.cardinality, p.copies, std::move(buckets[o]));
-      buckets[o] = {};
+      slices[o].plan.Add(cardinality, copies, buckets[o].data(),
+                         buckets[o].size());
+      buckets[o].clear();  // keeps capacity: no realloc next placement
     }
   }
+  flush_run(num_placements);
 
   for (RequesterPlan& slice : slices) {
     slice.cost = slice.plan.TotalCost(profile);

@@ -177,6 +177,11 @@ Result<DecompositionPlan> BaselineSolver::Solve(const CrowdsourcingTask& task,
   } else {
     for (size_t c = 0; c < chunks.size(); ++c) solve_chunk(c);
   }
+  size_t total_placements = plan.placements().size();
+  for (const DecompositionPlan& chunk_plan : chunk_plans) {
+    total_placements += chunk_plan.placements().size();
+  }
+  plan.Reserve(total_placements);
   for (size_t c = 0; c < chunks.size(); ++c) {
     SLADE_RETURN_NOT_OK(chunk_status[c]);
     plan.Append(std::move(chunk_plans[c]));

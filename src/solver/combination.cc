@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/math_util.h"
+#include "solver/plan_arena.h"
 
 namespace slade {
 
@@ -60,6 +61,21 @@ double Combination::ExpandInto(const std::vector<TaskId>& ids, size_t offset,
   return cost;
 }
 
+double Combination::ExpandInto(const std::vector<TaskId>& ids, size_t offset,
+                               size_t count, const BinProfile& profile,
+                               ColumnarPlan* plan) const {
+  double cost = 0.0;
+  for (const auto& [cardinality, copies] : parts_) {
+    const size_t k = cardinality;
+    for (size_t group = 0; group < count; group += k) {
+      const size_t group_size = std::min(k, count - group);
+      plan->Add(cardinality, copies, ids.data() + offset + group, group_size);
+      cost += static_cast<double>(copies) * profile.bin(cardinality).cost;
+    }
+  }
+  return cost;
+}
+
 double Combination::ExpandBlocksInto(const std::vector<TaskId>& ids,
                                      size_t offset, uint64_t blocks,
                                      const BinProfile& profile,
@@ -99,6 +115,49 @@ double Combination::ExpandBlocksInto(const std::vector<TaskId>& ids,
       const auto first = ids.begin() + static_cast<ptrdiff_t>(base + g.begin);
       plan->Add(g.cardinality, g.copies,
                 std::vector<TaskId>(first, first + g.cardinality));
+    }
+  }
+  return static_cast<double>(blocks) * block_cost;
+}
+
+double Combination::ExpandBlocksInto(const std::vector<TaskId>& ids,
+                                     size_t offset, uint64_t blocks,
+                                     const BinProfile& profile,
+                                     ColumnarPlan* plan) const {
+  if (blocks == 0) return 0.0;
+  const size_t lcm = static_cast<size_t>(lcm_);
+
+  struct TemplateGroup {
+    uint32_t cardinality;
+    uint32_t copies;
+    size_t begin;  // offset of the group's first id within the block
+  };
+  std::vector<TemplateGroup> groups;
+  double block_cost = 0.0;
+  size_t groups_per_block = 0;
+  for (const auto& [cardinality, copies] : parts_) {
+    groups_per_block += lcm / cardinality;
+  }
+  groups.reserve(groups_per_block);
+  for (const auto& [cardinality, copies] : parts_) {
+    for (size_t begin = 0; begin < lcm; begin += cardinality) {
+      groups.push_back(TemplateGroup{cardinality, copies, begin});
+    }
+    block_cost += static_cast<double>(lcm / cardinality) *
+                  static_cast<double>(copies) * profile.bin(cardinality).cost;
+  }
+
+  // Each part re-lists all lcm ids of the block, so the whole expansion is
+  // exactly blocks * parts * lcm id slots -- reserve it all at once.
+  plan->Reserve(
+      plan->num_placements() + static_cast<size_t>(blocks) * groups_per_block,
+      plan->num_task_ids() +
+          static_cast<size_t>(blocks) * parts_.size() * lcm);
+  for (uint64_t block = 0; block < blocks; ++block) {
+    const size_t base = offset + static_cast<size_t>(block) * lcm;
+    for (const TemplateGroup& g : groups) {
+      plan->Add(g.cardinality, g.copies, ids.data() + base + g.begin,
+                g.cardinality);
     }
   }
   return static_cast<double>(blocks) * block_cost;

@@ -17,6 +17,8 @@
 
 namespace slade {
 
+class ColumnarPlan;
+
 /// \brief A combination of task bins
 /// `Comb = {n_{k1} x b_{k1}, ..., n_{kl} x b_{kl}}`: every atomic task
 /// routed through the combination is placed in `n_k` bins of cardinality
@@ -63,6 +65,12 @@ class Combination {
                     size_t count, const BinProfile& profile,
                     DecompositionPlan* plan) const;
 
+  /// Columnar variant: groups are stamped straight into the plan's flat
+  /// columns (one memcpy per group, no per-placement vector).
+  double ExpandInto(const std::vector<TaskId>& ids, size_t offset,
+                    size_t count, const BinProfile& profile,
+                    ColumnarPlan* plan) const;
+
   /// \brief Emits `blocks` consecutive perfect blocks of `lcm()` tasks
   /// each, starting at `ids[offset]` -- the Algorithm 3 lines 12-15 bulk
   /// path. Equivalent to calling `ExpandInto(ids, offset + b * lcm(),
@@ -77,6 +85,13 @@ class Combination {
   double ExpandBlocksInto(const std::vector<TaskId>& ids, size_t offset,
                           uint64_t blocks, const BinProfile& profile,
                           DecompositionPlan* plan) const;
+
+  /// Columnar variant: reserves every column once (placements AND task-id
+  /// slots for all blocks), then range-fills the template per block --
+  /// zero allocations in the steady state of a reset-reused arena.
+  double ExpandBlocksInto(const std::vector<TaskId>& ids, size_t offset,
+                          uint64_t blocks, const BinProfile& profile,
+                          ColumnarPlan* plan) const;
 
   /// "{3 x b1, 2 x b2, 1 x b3} LCM=6 UC=0.56".
   std::string ToString() const;

@@ -1,53 +1,88 @@
 #include "solver/plan_validator.h"
 
-#include <unordered_set>
+#include <algorithm>
 
 #include "common/math_util.h"
+#include "solver/plan_arena.h"
 
 namespace slade {
+namespace {
 
-Result<ValidationReport> ValidatePlan(const DecompositionPlan& plan,
+// Shared validation core, templated over the placement accessor so the AoS
+// and columnar paths run the identical fused loop: bounds check, duplicate
+// check and reliability accumulation in one pass per placement.
+//
+// Duplicate detection uses an epoch-stamped scratch array instead of a
+// per-placement unordered_set: `last_seen[id] == epoch` iff `id` already
+// appeared in the current placement. Advancing the epoch retires all
+// stamps in O(1), so a 10^5-placement plan costs one n-sized allocation
+// total instead of 10^5 hash-set rebuilds.
+template <typename ViewFn>
+Result<ValidationReport> ValidateImpl(size_t num_placements, ViewFn view,
                                       const CrowdsourcingTask& task,
                                       const BinProfile& profile) {
   const size_t n = task.size();
-  std::vector<double> accumulated(n, 0.0);
+  const uint32_t max_cardinality = profile.max_cardinality();
+  const std::vector<double>& log_weights = profile.log_weights();
 
-  std::unordered_set<TaskId> dedup;
-  for (size_t pi = 0; pi < plan.placements().size(); ++pi) {
-    const BinPlacement& p = plan.placements()[pi];
-    if (p.cardinality == 0 || p.cardinality > profile.max_cardinality()) {
+  // Cost is accumulated inside the same sweep, through a per-cardinality
+  // table indexed only *after* the cardinality check -- a malformed plan
+  // must never drive a profile lookup (TotalCost would read out of
+  // bounds on an unknown cardinality).
+  std::vector<double> cost_of(max_cardinality + 1, 0.0);
+  for (const TaskBin& bin : profile.bins()) {
+    if (bin.cardinality <= max_cardinality) {
+      cost_of[bin.cardinality] = bin.cost;
+    }
+  }
+  double total_cost = 0.0;
+
+  std::vector<double> accumulated(n, 0.0);
+  std::vector<uint32_t> last_seen(n, 0);
+  uint32_t epoch = 0;
+
+  for (size_t pi = 0; pi < num_placements; ++pi) {
+    const ColumnarPlan::PlacementView p = view(pi);
+    if (p.cardinality == 0 || p.cardinality > max_cardinality) {
       return Status::InvalidArgument(
           "placement " + std::to_string(pi) + " uses cardinality " +
           std::to_string(p.cardinality) + " outside profile (m=" +
-          std::to_string(profile.max_cardinality()) + ")");
+          std::to_string(max_cardinality) + ")");
     }
-    if (p.tasks.size() > p.cardinality) {
+    if (p.num_tasks > p.cardinality) {
       return Status::InvalidArgument(
           "placement " + std::to_string(pi) + " holds " +
-          std::to_string(p.tasks.size()) + " tasks in a bin of cardinality " +
+          std::to_string(p.num_tasks) + " tasks in a bin of cardinality " +
           std::to_string(p.cardinality));
     }
-    dedup.clear();
-    for (TaskId id : p.tasks) {
+    ++epoch;
+    if (epoch == 0) {  // wrapped: restamp the scratch and restart epochs
+      std::fill(last_seen.begin(), last_seen.end(), 0);
+      epoch = 1;
+    }
+    total_cost += static_cast<double>(p.copies) * cost_of[p.cardinality];
+    const double w = log_weights[p.cardinality - 1] *
+                     static_cast<double>(p.copies);
+    for (uint32_t j = 0; j < p.num_tasks; ++j) {
+      const TaskId id = p.tasks[j];
       if (id >= n) {
         return Status::OutOfRange("placement " + std::to_string(pi) +
                                   " references task " + std::to_string(id) +
                                   " but n=" + std::to_string(n));
       }
-      if (!dedup.insert(id).second) {
+      if (last_seen[id] == epoch) {
         return Status::InvalidArgument(
             "placement " + std::to_string(pi) + " lists task " +
             std::to_string(id) +
             " twice (a bin holds *different* atomic tasks)");
       }
+      last_seen[id] = epoch;
+      accumulated[id] += w;
     }
-    const double w = profile.bin(p.cardinality).log_weight() *
-                     static_cast<double>(p.copies);
-    for (TaskId id : p.tasks) accumulated[id] += w;
   }
 
   ValidationReport report;
-  report.total_cost = plan.TotalCost(profile);
+  report.total_cost = total_cost;
   report.feasible = true;
   bool first = true;
   for (size_t i = 0; i < n; ++i) {
@@ -62,6 +97,31 @@ Result<ValidationReport> ValidatePlan(const DecompositionPlan& plan,
     }
   }
   return report;
+}
+
+}  // namespace
+
+Result<ValidationReport> ValidatePlan(const DecompositionPlan& plan,
+                                      const CrowdsourcingTask& task,
+                                      const BinProfile& profile) {
+  const std::vector<BinPlacement>& placements = plan.placements();
+  return ValidateImpl(
+      placements.size(),
+      [&placements](size_t i) {
+        const BinPlacement& p = placements[i];
+        return ColumnarPlan::PlacementView{
+            p.cardinality, p.copies, p.tasks.data(),
+            static_cast<uint32_t>(p.tasks.size())};
+      },
+      task, profile);
+}
+
+Result<ValidationReport> ValidatePlan(const ColumnarPlan& plan,
+                                      const CrowdsourcingTask& task,
+                                      const BinProfile& profile) {
+  return ValidateImpl(
+      plan.num_placements(), [&plan](size_t i) { return plan.view(i); },
+      task, profile);
 }
 
 }  // namespace slade

@@ -11,6 +11,8 @@
 
 namespace slade {
 
+class ColumnarPlan;
+
 /// \brief Structural + reliability validation report.
 struct ValidationReport {
   /// Per Definition 3: Rel(a_i, B(a_i)) >= t_i for all i.
@@ -35,6 +37,13 @@ struct ValidationReport {
 /// well-formed plan returns OK with `feasible == false` so callers can
 /// report the margin.
 Result<ValidationReport> ValidatePlan(const DecompositionPlan& plan,
+                                      const CrowdsourcingTask& task,
+                                      const BinProfile& profile);
+
+/// Columnar variant: one fused sweep over the flat columns (bounds, dup
+/// and reliability accumulation in a single pass, per-cardinality weight
+/// lookup table, epoch-stamped dup scratch). Same checks, same report.
+Result<ValidationReport> ValidatePlan(const ColumnarPlan& plan,
                                       const CrowdsourcingTask& task,
                                       const BinProfile& profile);
 

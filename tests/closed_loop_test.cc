@@ -28,6 +28,10 @@ std::string PlanSignature(const DecompositionPlan& plan) {
   return sig;
 }
 
+std::string PlanSignature(const ColumnarPlan& plan) {
+  return PlanSignature(plan.ToPlan());
+}
+
 BinProfile JellyProfile() {
   auto profile = BuildProfile(MakeModel(DatasetKind::kJelly), 10);
   EXPECT_TRUE(profile.ok());

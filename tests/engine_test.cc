@@ -35,6 +35,10 @@ std::string PlanSignature(const DecompositionPlan& plan) {
   return sig;
 }
 
+std::string PlanSignature(const ColumnarPlan& plan) {
+  return PlanSignature(plan.ToPlan());
+}
+
 TEST(DecompositionEngineTest, EmptyBatchIsRejected) {
   DecompositionEngine engine;
   auto profile = BinProfile::PaperExample();

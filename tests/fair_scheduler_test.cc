@@ -53,7 +53,8 @@ StreamingOptions ParkedOptions() {
 /// every placement as (cardinality x copies: sorted task ids).
 std::string PlacementSignature(const RequesterPlan& slice) {
   std::vector<std::string> parts;
-  for (const BinPlacement& placement : slice.plan.placements()) {
+  const DecompositionPlan plan = slice.plan.ToPlan();
+  for (const BinPlacement& placement : plan.placements()) {
     std::vector<TaskId> tasks = placement.tasks;
     std::sort(tasks.begin(), tasks.end());
     std::ostringstream part;

@@ -1,0 +1,264 @@
+// Randomized differential suite for the columnar plan pipeline.
+//
+// The contract under test: ColumnarPlan is a *representation* change, not a
+// semantics change. At every layer that was migrated from the AoS
+// DecompositionPlan -- the OPQ assignment loop, the batch engine's
+// shard-merge, the splitter, and the streaming front end -- the columnar
+// path must produce a placement-for-placement identical plan to the legacy
+// AoS path, across pooled/isolated sharing, fairness on/off, 1/4/8 worker
+// threads, and OPQ-cache pressure.
+//
+// The AoS oracle is the untouched scalar path: RunOpqAssignment into a
+// DecompositionPlan at the solver layer, and SolveBatchSequential (which
+// routes through the per-task AoS Solver::Solve) at the engine layer.
+
+#include <cstdint>
+#include <future>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "binmodel/profile_model.h"
+#include "engine/decomposition_engine.h"
+#include "engine/plan_splitter.h"
+#include "engine/streaming_engine.h"
+#include "solver/opq_solver.h"
+#include "solver/plan_arena.h"
+#include "solver/plan_validator.h"
+#include "workload/threshold_gen.h"
+#include "workload/workload.h"
+
+namespace slade {
+namespace {
+
+constexpr uint64_t kSuiteSeed = 0xC01D'CAFEull;
+
+// Plans don't expose operator==; compare the serialized placements.
+std::string PlanSignature(const DecompositionPlan& plan) {
+  std::string sig;
+  for (const BinPlacement& p : plan.placements()) {
+    sig += std::to_string(p.cardinality) + "x" + std::to_string(p.copies) +
+           ":";
+    for (TaskId id : p.tasks) sig += std::to_string(id) + ";";
+    sig += "|";
+  }
+  return sig;
+}
+
+std::string PlanSignature(const ColumnarPlan& plan) {
+  return PlanSignature(plan.ToPlan());
+}
+
+BinProfile RandomProfile(std::mt19937_64& rng) {
+  const DatasetKind dataset =
+      (rng() % 2 == 0) ? DatasetKind::kJelly : DatasetKind::kSmic;
+  const uint32_t max_cardinality = 4 + static_cast<uint32_t>(rng() % 9);
+  auto profile = BuildProfile(MakeModel(dataset), max_cardinality);
+  EXPECT_TRUE(profile.ok()) << profile.status().ToString();
+  return std::move(profile).ValueOrDie();
+}
+
+ThresholdSpec RandomSpec(std::mt19937_64& rng) {
+  ThresholdSpec spec;
+  switch (rng() % 4) {
+    case 0:
+      spec.family = ThresholdFamily::kHomogeneous;
+      spec.mu = 0.75 + 0.2 * (static_cast<double>(rng() % 100) / 100.0);
+      break;
+    case 1:
+      spec.family = ThresholdFamily::kNormal;
+      spec.mu = 0.9;
+      spec.sigma = 0.03;
+      break;
+    case 2:
+      spec.family = ThresholdFamily::kUniform;
+      spec.mu = 0.85;
+      spec.sigma = 0.1;
+      break;
+    default:
+      spec.family = ThresholdFamily::kHeavyTail;
+      break;
+  }
+  spec.clamp_lo = 0.6;
+  spec.clamp_hi = 0.98;
+  return spec;
+}
+
+CrowdsourcingTask RandomTask(const ThresholdSpec& spec, size_t n,
+                             uint64_t seed) {
+  auto thresholds = GenerateThresholds(spec, n, seed);
+  EXPECT_TRUE(thresholds.ok()) << thresholds.status().ToString();
+  auto task =
+      CrowdsourcingTask::FromThresholds(std::move(thresholds).ValueOrDie());
+  EXPECT_TRUE(task.ok()) << task.status().ToString();
+  return std::move(task).ValueOrDie();
+}
+
+std::vector<CrowdsourcingTask> RandomBatch(std::mt19937_64& rng,
+                                           const ThresholdSpec& spec) {
+  const size_t num_tasks = 1 + rng() % 6;
+  std::vector<CrowdsourcingTask> tasks;
+  tasks.reserve(num_tasks);
+  for (size_t k = 0; k < num_tasks; ++k) {
+    tasks.push_back(RandomTask(spec, 1 + rng() % 30, rng()));
+  }
+  return tasks;
+}
+
+// --- Solver layer: Algorithm 3's loop, AoS vs columnar ----------------------
+
+TEST(PlanPipelineDifferentialTest, OpqAssignmentColumnarMatchesAoS) {
+  std::mt19937_64 rng(kSuiteSeed);
+  for (int trial = 0; trial < 40; ++trial) {
+    const BinProfile profile = RandomProfile(rng);
+    const double t =
+        0.6 + 0.38 * (static_cast<double>(rng() % 1000) / 1000.0);
+    auto queue = BuildOpq(profile, t);
+    ASSERT_TRUE(queue.ok()) << queue.status().ToString();
+
+    // Global (non-contiguous, non-zero-based) ids, as the threshold-group
+    // sharding of Algorithm 5 produces them.
+    const size_t n = 1 + rng() % 200;
+    const TaskId base = static_cast<TaskId>(rng() % 10'000);
+    std::vector<TaskId> ids;
+    ids.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      ids.push_back(base + static_cast<TaskId>(3 * i));
+    }
+
+    DecompositionPlan aos;
+    ASSERT_TRUE(RunOpqAssignment(*queue, ids, profile, &aos).ok());
+    ColumnarPlan columnar;
+    ASSERT_TRUE(RunOpqAssignment(*queue, ids, profile, &columnar).ok());
+    ASSERT_EQ(PlanSignature(columnar), PlanSignature(aos))
+        << "trial " << trial << " t=" << t << " n=" << n;
+    EXPECT_NEAR(columnar.TotalCost(profile), aos.TotalCost(profile), 1e-12);
+    EXPECT_EQ(columnar.TotalBinInstances(), aos.TotalBinInstances());
+  }
+}
+
+// --- Engine layer: SolveBatch merge, across sharing and thread counts -------
+
+TEST(PlanPipelineDifferentialTest, BatchMergeMatchesAoSReferenceAcrossThreads) {
+  std::mt19937_64 rng(kSuiteSeed ^ 0x1);
+  for (int trial = 0; trial < 12; ++trial) {
+    const BinProfile profile = RandomProfile(rng);
+    const ThresholdSpec spec = RandomSpec(rng);
+    const std::vector<CrowdsourcingTask> tasks = RandomBatch(rng, spec);
+
+    for (BatchSharing sharing :
+         {BatchSharing::kIsolated, BatchSharing::kPooled}) {
+      std::string reference_signature;
+      double reference_cost = 0.0;
+      for (uint32_t threads : {1u, 4u, 8u}) {
+        EngineOptions options;
+        options.sharing = sharing;
+        options.num_threads = threads;
+        DecompositionEngine engine(options);
+        auto report = engine.SolveBatch(tasks, profile);
+        ASSERT_TRUE(report.ok()) << report.status().ToString();
+        const std::string signature = PlanSignature(report->plan);
+        if (reference_signature.empty()) {
+          reference_signature = signature;
+          reference_cost = report->total_cost;
+        } else {
+          // The columnar shard-merge must be deterministic in thread count.
+          EXPECT_EQ(signature, reference_signature)
+              << "trial " << trial << " threads " << threads;
+          EXPECT_DOUBLE_EQ(report->total_cost, reference_cost);
+        }
+        // Every slice of the merged columnar plan validates against its
+        // requester's thresholds through the columnar validator.
+        std::vector<RequesterSpan> spans;
+        for (size_t k = 0; k < tasks.size(); ++k) {
+          spans.push_back({"r" + std::to_string(k), k, 1});
+        }
+        auto slices = PlanSplitter::SplitBySpans(*report, profile, spans);
+        ASSERT_TRUE(slices.ok()) << slices.status().ToString();
+        for (size_t k = 0; k < tasks.size(); ++k) {
+          auto validation = ValidatePlan((*slices)[k].plan, tasks[k], profile);
+          ASSERT_TRUE(validation.ok()) << validation.status().ToString();
+          EXPECT_TRUE(validation->feasible)
+              << "trial " << trial << " task " << k << " margin "
+              << validation->worst_log_margin;
+        }
+      }
+      if (sharing == BatchSharing::kIsolated) {
+        // Isolated batches are pinned to the legacy AoS path: the per-task
+        // scalar solver merged with AppendPlan.
+        auto sequential = SolveBatchSequential(tasks, profile);
+        ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+        EXPECT_EQ(reference_signature, PlanSignature(sequential->plan))
+            << "trial " << trial;
+      }
+    }
+  }
+}
+
+// --- Streaming layer: fairness on/off, cache pressure ----------------------
+
+TEST(PlanPipelineDifferentialTest, StreamingSlicesMatchSequentialReference) {
+  std::mt19937_64 rng(kSuiteSeed ^ 0x2);
+  for (int trial = 0; trial < 8; ++trial) {
+    const BinProfile profile = RandomProfile(rng);
+    const ThresholdSpec spec = RandomSpec(rng);
+
+    struct Submission {
+      std::string requester;
+      std::vector<CrowdsourcingTask> tasks;
+    };
+    const size_t num_submissions = 2 + rng() % 8;
+    std::vector<Submission> submissions;
+    for (size_t s = 0; s < num_submissions; ++s) {
+      Submission submission;
+      submission.requester = "tenant" + std::to_string(rng() % 3);
+      const size_t num_tasks = 1 + rng() % 3;
+      for (size_t k = 0; k < num_tasks; ++k) {
+        submission.tasks.push_back(RandomTask(spec, 1 + rng() % 20, rng()));
+      }
+      submissions.push_back(std::move(submission));
+    }
+
+    // Per-submission AoS reference: the sequential scalar path.
+    std::vector<std::string> reference;
+    for (const Submission& submission : submissions) {
+      auto sequential = SolveBatchSequential(submission.tasks, profile);
+      ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+      reference.push_back(PlanSignature(sequential->plan));
+    }
+
+    const bool fairness = (trial % 2 == 0);
+    for (uint32_t threads : {1u, 4u, 8u}) {
+      for (uint64_t cache_entries : {uint64_t{0}, uint64_t{1}}) {
+        StreamingOptions options;
+        options.sharing = BatchSharing::kIsolated;
+        options.num_threads = threads;
+        options.max_pending_submissions = 1 + rng() % 4;
+        options.resources.cache_max_entries = cache_entries;
+        options.fairness.enabled = fairness;
+        options.fairness.quantum_atomic_tasks = 8;
+        StreamingEngine engine(profile, options);
+
+        std::vector<std::future<Result<RequesterPlan>>> futures;
+        for (const Submission& submission : submissions) {
+          futures.push_back(
+              engine.Submit(submission.requester, submission.tasks));
+        }
+        engine.Drain();
+        for (size_t s = 0; s < submissions.size(); ++s) {
+          auto slice = futures[s].get();
+          ASSERT_TRUE(slice.ok()) << slice.status().ToString();
+          EXPECT_EQ(PlanSignature(slice->plan), reference[s])
+              << "trial " << trial << " submission " << s << " threads "
+              << threads << " cache_entries " << cache_entries
+              << " fairness " << fairness;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slade

@@ -29,6 +29,10 @@ std::string PlanSignature(const DecompositionPlan& plan) {
   return sig;
 }
 
+std::string PlanSignature(const ColumnarPlan& plan) {
+  return PlanSignature(plan.ToPlan());
+}
+
 /// A merged "report" with two input tasks of 2 atomic tasks each and a
 /// hand-written plan: one placement per input task plus one 3-bin shared
 /// between them (the kPooled shape).

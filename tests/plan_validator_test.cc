@@ -1,6 +1,10 @@
 #include "solver/plan_validator.h"
 
+#include <chrono>
+
 #include <gtest/gtest.h>
+
+#include "solver/plan_arena.h"
 
 namespace slade {
 namespace {
@@ -91,6 +95,98 @@ TEST_F(PlanValidatorTest, HeterogeneousThresholdsChecked) {
   ASSERT_TRUE(report.ok());
   EXPECT_FALSE(report->feasible);
   EXPECT_EQ(report->worst_task, 1u);
+}
+
+// --- ColumnarPlan overload: same checks, same reports ----------------------
+
+TEST_F(PlanValidatorTest, ColumnarMatchesAoSReportOnFeasiblePlan) {
+  DecompositionPlan aos;
+  aos.Add(3, 1, {0, 1, 2});
+  aos.Add(3, 1, {0, 1, 3});
+  aos.Add(2, 1, {2, 3});
+  auto aos_report = ValidatePlan(aos, task_, profile_);
+  auto columnar_report =
+      ValidatePlan(ColumnarPlan::FromPlan(aos), task_, profile_);
+  ASSERT_TRUE(aos_report.ok());
+  ASSERT_TRUE(columnar_report.ok());
+  EXPECT_EQ(columnar_report->feasible, aos_report->feasible);
+  EXPECT_EQ(columnar_report->worst_task, aos_report->worst_task);
+  EXPECT_DOUBLE_EQ(columnar_report->worst_log_margin,
+                   aos_report->worst_log_margin);
+  EXPECT_DOUBLE_EQ(columnar_report->total_cost, aos_report->total_cost);
+}
+
+TEST_F(PlanValidatorTest, ColumnarRejectsSameStructuralViolations) {
+  {
+    ColumnarPlan plan;
+    plan.Add(2, 1, {0, 1, 2});  // overfull
+    EXPECT_TRUE(
+        ValidatePlan(plan, task_, profile_).status().IsInvalidArgument());
+  }
+  {
+    ColumnarPlan plan;
+    plan.Add(3, 1, {0, 0, 1});  // duplicate
+    EXPECT_TRUE(
+        ValidatePlan(plan, task_, profile_).status().IsInvalidArgument());
+  }
+  {
+    ColumnarPlan plan;
+    plan.Add(4, 1, {0, 1, 2});  // unknown cardinality
+    EXPECT_TRUE(
+        ValidatePlan(plan, task_, profile_).status().IsInvalidArgument());
+  }
+  {
+    ColumnarPlan plan;
+    plan.Add(1, 1, {17});  // out of range
+    EXPECT_TRUE(ValidatePlan(plan, task_, profile_).status().IsOutOfRange());
+  }
+}
+
+TEST_F(PlanValidatorTest, DuplicateDetectionSpansOnlyOnePlacement) {
+  // The same id in two different placements is legal (that is how copies
+  // accumulate reliability); the epoch-stamped scratch must reset between
+  // placements.
+  DecompositionPlan plan;
+  for (int i = 0; i < 10; ++i) plan.Add(3, 1, {0, 1, 2});
+  plan.Add(1, 3, {3});
+  auto report = ValidatePlan(plan, task_, profile_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->feasible);
+}
+
+TEST_F(PlanValidatorTest, LargePlanValidatesInLinearTime) {
+  // Satellite regression: 10^5 placements over 10^5 tasks must validate in
+  // one pass -- the old per-placement unordered_set made this rehash-bound.
+  // Generous wall bound (seconds, not minutes) so the test only trips on a
+  // complexity regression, not on a slow machine.
+  constexpr size_t kTasks = 100'000;
+  auto task = CrowdsourcingTask::Homogeneous(kTasks, 0.95);
+  ASSERT_TRUE(task.ok());
+  DecompositionPlan aos;
+  aos.Reserve(kTasks);
+  ColumnarPlan columnar;
+  columnar.Reserve(kTasks, 3 * kTasks);
+  for (size_t i = 0; i < kTasks; i += 3) {
+    const TaskId a = static_cast<TaskId>(i);
+    const TaskId b = static_cast<TaskId>((i + 1) % kTasks);
+    const TaskId c = static_cast<TaskId>((i + 2) % kTasks);
+    aos.Add(3, 2, {a, b, c});
+    columnar.Add(3, 2, {a, b, c});
+  }
+  // Pad every task over the 0.95 threshold (2 * w(0.8) suffices; add 1-bins
+  // for margin uniformity).
+  const auto start = std::chrono::steady_clock::now();
+  auto aos_report = ValidatePlan(aos, *task, profile_);
+  auto columnar_report = ValidatePlan(columnar, *task, profile_);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(aos_report.ok());
+  ASSERT_TRUE(columnar_report.ok());
+  EXPECT_EQ(columnar_report->feasible, aos_report->feasible);
+  EXPECT_DOUBLE_EQ(columnar_report->worst_log_margin,
+                   aos_report->worst_log_margin);
+  EXPECT_LT(seconds, 5.0) << "validation is no longer linear";
 }
 
 }  // namespace

@@ -47,15 +47,8 @@ std::string PlanSignature(const DecompositionPlan& plan) {
   return sig;
 }
 
-/// Appends `plan` to `merged` with every task id shifted by `offset` --
-/// how a requester stitches their per-flush slices back together.
-void AppendWithOffset(const DecompositionPlan& plan, size_t offset,
-                      DecompositionPlan* merged) {
-  for (const BinPlacement& p : plan.placements()) {
-    std::vector<TaskId> shifted = p.tasks;
-    for (TaskId& id : shifted) id += static_cast<TaskId>(offset);
-    merged->Add(p.cardinality, p.copies, std::move(shifted));
-  }
+std::string PlanSignature(const ColumnarPlan& plan) {
+  return PlanSignature(plan.ToPlan());
 }
 
 struct Submission {
@@ -159,7 +152,7 @@ StreamingOptions PolicyOf(size_t index, uint32_t threads,
 
 struct RequesterReference {
   std::vector<CrowdsourcingTask> tasks;  // admission order
-  DecompositionPlan plan;
+  ColumnarPlan plan;
   double cost = 0.0;
 };
 
@@ -210,7 +203,10 @@ std::map<std::string, RequesterReference> StreamAndReassemble(
     RequesterReference& ref = reassembled[submission.requester];
     size_t offset = 0;  // requester-global id of this slice's local id 0
     for (const CrowdsourcingTask& t : ref.tasks) offset += t.size();
-    AppendWithOffset(slice->plan, offset, &ref.plan);
+    // Stitch the slice back in requester-global ids -- how a requester
+    // reassembles their per-flush slices.
+    ref.plan.AppendRange(slice->plan, 0, slice->plan.num_placements(),
+                         static_cast<int64_t>(offset));
     ref.cost += slice->cost;
     billed += slice->cost;
     ref.tasks.insert(ref.tasks.end(), submission.tasks.begin(),
