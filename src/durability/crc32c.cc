@@ -1,0 +1,73 @@
+#include "durability/crc32c.h"
+
+#include <array>
+
+namespace slade {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+struct Crc32cTables {
+  // table[k][b]: CRC contribution of byte b at distance k from the end of
+  // an 8-byte block (slice-by-8).
+  uint32_t t[8][256];
+
+  Crc32cTables() {
+    for (uint32_t b = 0; b < 256; ++b) {
+      uint32_t crc = b;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][b] = crc;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t b = 0; b < 256; ++b) {
+        const uint32_t prev = t[k - 1][b];
+        t[k][b] = (prev >> 8) ^ t[0][prev & 0xFFu];
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+  const Crc32cTables& tables = Tables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  // Byte-at-a-time until 8-byte alignment, then slice-by-8.
+  while (size > 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    crc = (crc >> 8) ^ tables.t[0][(crc ^ *p++) & 0xFFu];
+    --size;
+  }
+  while (size >= 8) {
+    // Reading via two aligned 32-bit words keeps this portable (no
+    // unaligned uint64_t load) while still consuming 8 bytes per step.
+    const uint32_t lo =
+        crc ^ (static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+               static_cast<uint32_t>(p[2]) << 16 |
+               static_cast<uint32_t>(p[3]) << 24);
+    const uint32_t hi =
+        static_cast<uint32_t>(p[4]) | static_cast<uint32_t>(p[5]) << 8 |
+        static_cast<uint32_t>(p[6]) << 16 | static_cast<uint32_t>(p[7]) << 24;
+    crc = tables.t[7][lo & 0xFFu] ^ tables.t[6][(lo >> 8) & 0xFFu] ^
+          tables.t[5][(lo >> 16) & 0xFFu] ^ tables.t[4][lo >> 24] ^
+          tables.t[3][hi & 0xFFu] ^ tables.t[2][(hi >> 8) & 0xFFu] ^
+          tables.t[1][(hi >> 16) & 0xFFu] ^ tables.t[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+  while (size > 0) {
+    crc = (crc >> 8) ^ tables.t[0][(crc ^ *p++) & 0xFFu];
+    --size;
+  }
+  return ~crc;
+}
+
+}  // namespace slade

@@ -1,0 +1,85 @@
+#include "durability/ingestion.h"
+
+#include <utility>
+
+namespace slade {
+
+Result<std::unique_ptr<FileReplaySource>> FileReplaySource::Open(
+    FileReplayOptions options) {
+  if (options.speedup < 0.0) {
+    return Status::InvalidArgument(
+        "FileReplaySource: speedup must be >= 0 (0 = unpaced)");
+  }
+  SLADE_ASSIGN_OR_RETURN(std::vector<TimedSubmission> tape,
+                         LoadTimedWorkloadCsv(options.path));
+  if (tape.empty() && options.loop_count != 1) {
+    return Status::InvalidArgument(
+        "FileReplaySource: empty tape cannot loop (" + options.path + ")");
+  }
+  return std::unique_ptr<FileReplaySource>(
+      new FileReplaySource(std::move(options), std::move(tape)));
+}
+
+FileReplaySource::FileReplaySource(FileReplayOptions options,
+                                   std::vector<TimedSubmission> tape)
+    : options_(std::move(options)),
+      tape_(std::move(tape)),
+      tape_span_ms_(tape_.empty() ? 0.0 : tape_.back().arrival_ms) {}
+
+Result<bool> FileReplaySource::Next(TimedSubmission* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (canceled_) return false;
+  if (cursor_ >= tape_.size()) {
+    ++loop_;
+    cursor_ = 0;
+    if (tape_.empty() ||
+        (options_.loop_count != 0 && loop_ >= options_.loop_count)) {
+      canceled_ = true;  // exhausted: behave like a canceled stream
+      return false;
+    }
+  }
+
+  const TimedSubmission& entry = tape_[cursor_];
+  // Arrivals continue across the loop seam: loop L replays the tape
+  // shifted by L tape-spans.
+  const double due_ms =
+      entry.arrival_ms + static_cast<double>(loop_) * tape_span_ms_;
+  if (options_.speedup > 0.0) {
+    if (!started_) {
+      started_ = true;
+      start_ = std::chrono::steady_clock::now();
+    }
+    const auto due =
+        start_ + std::chrono::duration_cast<
+                     std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double, std::milli>(
+                         due_ms / options_.speedup));
+    cancel_cv_.wait_until(lock, due, [&] { return canceled_; });
+    if (canceled_) return false;
+  }
+
+  *out = entry;  // tasks copied: the tape is immutable and may loop
+  out->arrival_ms = due_ms;
+  if (!options_.submission_id_prefix.empty()) {
+    out->submission_id =
+        options_.submission_id_prefix + "-" + std::to_string(delivered_);
+  }
+  ++cursor_;
+  ++delivered_;
+  return true;
+}
+
+void FileReplaySource::Cancel() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    canceled_ = true;
+  }
+  cancel_cv_.notify_all();
+}
+
+uint64_t FileReplaySource::delivered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return delivered_;
+}
+
+}  // namespace slade

@@ -1,0 +1,113 @@
+// Copyright (c) the SLADE reproduction authors.
+// Pluggable ingestion: where streaming traffic comes from.
+//
+// The serving stack consumes submissions from three places today — the
+// `slade_cli stream` command, the `serve --replay` background feed, and
+// ad-hoc test drivers — and ROADMAP item 5 wants them all behind one
+// connector abstraction so a Kafka-style partitioned consumer can slot
+// in later without touching the engine. IngestionSource is that seam: a
+// pull-based, cancelable iterator of TimedSubmission. The source owns
+// pacing — Next() blocks until the next submission is *due* — so a
+// consumer is just a loop:
+//
+//   TimedSubmission sub;
+//   while (source.Next(&sub).ValueOr(false)) {
+//     engine.Submit(sub.requester, std::move(sub.tasks),
+//                   std::move(sub.submission_id));
+//   }
+//
+// FileReplaySource is the deterministic file connector: it feeds a timed
+// CSV tape (io/model_io.h) at recorded or accelerated speed, optionally
+// looping, and stamps reproducible submission ids — the same tape with
+// the same options replays the same submissions with the same ids, which
+// is what makes crash-recovery smokes and perf claims reproducible.
+
+#ifndef SLADE_DURABILITY_INGESTION_H_
+#define SLADE_DURABILITY_INGESTION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "io/model_io.h"
+
+namespace slade {
+
+/// \brief A cancelable, paced stream of submissions. Implementations are
+/// safe for one consumer thread plus any number of Cancel() callers.
+class IngestionSource {
+ public:
+  virtual ~IngestionSource() = default;
+
+  /// Blocks until the next submission is due, fills `*out` and returns
+  /// true; returns false when the stream is exhausted or canceled. An
+  /// error (e.g. a broken underlying transport) fails the Result.
+  virtual Result<bool> Next(TimedSubmission* out) = 0;
+
+  /// Unblocks a waiting Next() and ends the stream: every later Next()
+  /// returns false. Idempotent, callable from any thread (e.g. a signal
+  /// watcher that wants a draining shutdown mid-replay).
+  virtual void Cancel() = 0;
+};
+
+struct FileReplayOptions {
+  /// Timed-workload CSV (header `arrival_ms,requester,task,threshold`).
+  std::string path;
+  /// Replay speed: 1 = recorded timing, 10 = 10x accelerated, 0 = no
+  /// pacing at all (every submission due immediately).
+  double speedup = 1.0;
+  /// How many times to play the tape end to end; 0 = loop forever (until
+  /// Cancel). Later loops shift arrivals by the tape's duration, so
+  /// pacing stays continuous across the seam.
+  uint64_t loop_count = 1;
+  /// When non-empty, submission k (0-based, counted across loops) is
+  /// stamped submission_id = "<prefix>-<k>" — deterministic, so a
+  /// restarted replay over the same WAL exercises idempotency instead of
+  /// double-submitting. Empty = anonymous submissions.
+  std::string submission_id_prefix;
+};
+
+/// \brief Deterministic tape replay of a timed CSV workload.
+class FileReplaySource final : public IngestionSource {
+ public:
+  /// Loads the whole tape up front (replay must not stall on file IO
+  /// mid-tape); fails on a missing or malformed CSV, or an empty tape
+  /// with loop_count != 1 (it would spin forever yielding nothing).
+  static Result<std::unique_ptr<FileReplaySource>> Open(
+      FileReplayOptions options);
+
+  Result<bool> Next(TimedSubmission* out) override;
+  void Cancel() override;
+
+  /// Submissions handed out so far (across loops).
+  uint64_t delivered() const;
+  /// Total submissions one pass of the tape holds.
+  size_t tape_size() const { return tape_.size(); }
+
+ private:
+  FileReplaySource(FileReplayOptions options,
+                   std::vector<TimedSubmission> tape);
+
+  const FileReplayOptions options_;
+  const std::vector<TimedSubmission> tape_;
+  /// Arrival shift applied per completed loop: the tape's last arrival.
+  const double tape_span_ms_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cancel_cv_;
+  bool canceled_ = false;
+  bool started_ = false;
+  std::chrono::steady_clock::time_point start_;  ///< set on first Next
+  size_t cursor_ = 0;      ///< next index within the current loop
+  uint64_t loop_ = 0;      ///< completed loops
+  uint64_t delivered_ = 0;
+};
+
+}  // namespace slade
+
+#endif  // SLADE_DURABILITY_INGESTION_H_

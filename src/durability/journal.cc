@@ -1,0 +1,445 @@
+#include "durability/journal.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace slade {
+
+namespace {
+
+// --- payload encoding -------------------------------------------------
+//
+// Little-endian fixed-width scalars and u32-length-prefixed strings; the
+// frame CRC in the WAL layer guards the bytes, so payloads carry no
+// checksum of their own. Doubles are stored as their IEEE-754 bit
+// pattern via u64.
+//
+//   kAdmit:      id, requester, u32 num_tasks, per task u32 n + n doubles
+//   kComplete:   id, outcome
+//   kReject:     id
+//   kCheckpoint: u64 count, per entry id + outcome  (FIFO order, so the
+//                eviction order of the duplicate-id map survives restart)
+//   outcome:     cost, u64 bins, u64 flush, u64 tasks, u64 atomic, latency
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xFF);
+  b[1] = static_cast<char>((v >> 8) & 0xFF);
+  b[2] = static_cast<char>((v >> 16) & 0xFF);
+  b[3] = static_cast<char>((v >> 24) & 0xFF);
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutDouble(std::string* out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutOutcome(std::string* out, const SubmissionOutcome& o) {
+  PutDouble(out, o.cost);
+  PutU64(out, o.bins_posted);
+  PutU64(out, o.flush_id);
+  PutU64(out, o.num_tasks);
+  PutU64(out, o.num_atomic_tasks);
+  PutDouble(out, o.latency_seconds);
+}
+
+/// Bounds-checked sequential reader; every getter returns false (and
+/// poisons the reader) on underrun instead of reading past the payload.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& payload)
+      : p_(payload.data()), end_(payload.data() + payload.size()) {}
+
+  bool U32(uint32_t* v) {
+    if (!ok_ || end_ - p_ < 4) return Fail();
+    const uint8_t* u = reinterpret_cast<const uint8_t*>(p_);
+    *v = static_cast<uint32_t>(u[0]) | static_cast<uint32_t>(u[1]) << 8 |
+         static_cast<uint32_t>(u[2]) << 16 | static_cast<uint32_t>(u[3]) << 24;
+    p_ += 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    if (!U32(&lo) || !U32(&hi)) return false;
+    *v = static_cast<uint64_t>(lo) | static_cast<uint64_t>(hi) << 32;
+    return true;
+  }
+  bool Double(double* v) {
+    uint64_t bits = 0;
+    if (!U64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool Str(std::string* s) {
+    uint32_t len = 0;
+    if (!U32(&len)) return false;
+    if (end_ - p_ < static_cast<ptrdiff_t>(len)) return Fail();
+    s->assign(p_, len);
+    p_ += len;
+    return true;
+  }
+  bool Outcome(SubmissionOutcome* o) {
+    return Double(&o->cost) && U64(&o->bins_posted) && U64(&o->flush_id) &&
+           U64(&o->num_tasks) && U64(&o->num_atomic_tasks) &&
+           Double(&o->latency_seconds);
+  }
+  bool AtEnd() const { return ok_ && p_ == end_; }
+
+ private:
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+std::string EncodeAdmit(const std::string& id, const std::string& requester,
+                        const std::vector<CrowdsourcingTask>& tasks) {
+  std::string payload;
+  PutString(&payload, id);
+  PutString(&payload, requester);
+  PutU32(&payload, static_cast<uint32_t>(tasks.size()));
+  for (const CrowdsourcingTask& t : tasks) {
+    PutU32(&payload, static_cast<uint32_t>(t.size()));
+    for (const double threshold : t.thresholds()) {
+      PutDouble(&payload, threshold);
+    }
+  }
+  return payload;
+}
+
+bool DecodeAdmit(const std::string& payload, RecoveredSubmission* out) {
+  PayloadReader r(payload);
+  uint32_t num_tasks = 0;
+  if (!r.Str(&out->submission_id) || !r.Str(&out->requester) ||
+      !r.U32(&num_tasks)) {
+    return false;
+  }
+  out->tasks.clear();
+  out->tasks.reserve(num_tasks);
+  for (uint32_t i = 0; i < num_tasks; ++i) {
+    uint32_t n = 0;
+    if (!r.U32(&n) || n == 0) return false;
+    std::vector<double> thresholds(n);
+    for (uint32_t k = 0; k < n; ++k) {
+      if (!r.Double(&thresholds[k])) return false;
+    }
+    Result<CrowdsourcingTask> task =
+        CrowdsourcingTask::FromThresholds(std::move(thresholds));
+    if (!task.ok()) return false;
+    out->tasks.push_back(std::move(task).ValueOrDie());
+  }
+  return r.AtEnd();
+}
+
+}  // namespace
+
+Result<SubmissionJournal::OpenResult> SubmissionJournal::Open(
+    JournalOptions options) {
+  WalRecoveryStats wal_recovery;
+  SLADE_ASSIGN_OR_RETURN(
+      std::vector<WalRecoveredRecord> records,
+      ReplayWal(options.wal.dir, /*repair=*/true, &wal_recovery));
+  // Post-repair survivors: the old generation CommitRecovery will drop.
+  std::vector<std::string> old_paths = ListWalSegmentPaths(options.wal.dir);
+
+  JournalRecoveryInfo info;
+  info.records_replayed = wal_recovery.records_replayed;
+  info.segments_scanned = wal_recovery.segments_scanned;
+  info.truncated = wal_recovery.truncated;
+  info.truncated_bytes = wal_recovery.truncated_bytes;
+  info.truncate_reason = wal_recovery.truncate_reason;
+
+  // Pair admits with completes/rejects by submission id. A re-admission
+  // after a previous recovery shows up as a second admit for a live id;
+  // the first one wins (same content, earlier order).
+  std::map<uint64_t, RecoveredSubmission> live;  // admit seq -> submission
+  std::unordered_map<std::string, uint64_t> live_by_id;
+  std::unordered_map<std::string, SubmissionOutcome> completed;
+  std::deque<std::string> completed_order;
+  auto close_id = [&](const std::string& id) {
+    const auto it = live_by_id.find(id);
+    if (it == live_by_id.end()) return;
+    live.erase(it->second);
+    live_by_id.erase(it);
+  };
+  auto retain = [&](const std::string& id, const SubmissionOutcome& outcome) {
+    if (completed.emplace(id, outcome).second) {
+      completed_order.push_back(id);
+    } else {
+      completed[id] = outcome;
+    }
+  };
+  for (const WalRecoveredRecord& rec : records) {
+    switch (rec.type) {
+      case WalRecordType::kAdmit: {
+        RecoveredSubmission sub;
+        if (!DecodeAdmit(rec.payload, &sub)) {
+          ++info.decode_errors;
+          break;
+        }
+        if (live_by_id.count(sub.submission_id) != 0 ||
+            completed.count(sub.submission_id) != 0) {
+          break;  // re-admission of an id we already know about
+        }
+        live_by_id.emplace(sub.submission_id, rec.seq);
+        live.emplace(rec.seq, std::move(sub));
+        break;
+      }
+      case WalRecordType::kComplete: {
+        PayloadReader r(rec.payload);
+        std::string id;
+        SubmissionOutcome outcome;
+        if (!r.Str(&id) || !r.Outcome(&outcome) || !r.AtEnd()) {
+          ++info.decode_errors;
+          break;
+        }
+        close_id(id);
+        retain(id, outcome);
+        break;
+      }
+      case WalRecordType::kReject: {
+        PayloadReader r(rec.payload);
+        std::string id;
+        if (!r.Str(&id) || !r.AtEnd()) {
+          ++info.decode_errors;
+          break;
+        }
+        close_id(id);
+        break;
+      }
+      case WalRecordType::kCheckpoint: {
+        PayloadReader r(rec.payload);
+        uint64_t count = 0;
+        if (!r.U64(&count)) {
+          ++info.decode_errors;
+          break;
+        }
+        bool bad = false;
+        for (uint64_t i = 0; i < count; ++i) {
+          std::string id;
+          SubmissionOutcome outcome;
+          if (!r.Str(&id) || !r.Outcome(&outcome)) {
+            bad = true;
+            break;
+          }
+          retain(id, outcome);
+        }
+        if (bad || !r.AtEnd()) ++info.decode_errors;
+        break;
+      }
+      default:
+        ++info.decode_errors;
+        break;
+    }
+  }
+  info.pending_recovered = live.size();
+  info.outcomes_recovered = completed.size();
+  info.clean_shutdown = !records.empty() &&
+                        records.back().type == WalRecordType::kCheckpoint &&
+                        live.empty();
+
+  SLADE_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> wal,
+                         WalWriter::Open(options.wal));
+  const uint64_t generation = wal->stats().active_segment;
+  std::unique_ptr<SubmissionJournal> journal(
+      new SubmissionJournal(std::move(options), std::move(wal)));
+  journal->generation_ = generation;
+  journal->recovered_segment_paths_ = std::move(old_paths);
+  journal->stats_.recovery = info;
+  // Seed the duplicate-id map, honoring the retention cap FIFO-wise.
+  for (const std::string& id : completed_order) {
+    journal->RetainOutcomeLocked(id, completed[id]);
+  }
+
+  OpenResult result;
+  result.journal = std::move(journal);
+  result.pending.reserve(live.size());
+  for (auto& [seq, sub] : live) result.pending.push_back(std::move(sub));
+  return result;
+}
+
+std::string SubmissionJournal::GenerateSubmissionId() {
+  return "auto-" + std::to_string(generation_) + "-" +
+         std::to_string(next_auto_id_.fetch_add(1, std::memory_order_relaxed));
+}
+
+void SubmissionJournal::RetainOutcomeLocked(const std::string& submission_id,
+                                            const SubmissionOutcome& outcome) {
+  if (completed_.emplace(submission_id, outcome).second) {
+    completed_order_.push_back(submission_id);
+  } else {
+    completed_[submission_id] = outcome;
+  }
+  if (options_.max_retained_outcomes > 0) {
+    while (completed_order_.size() > options_.max_retained_outcomes) {
+      completed_.erase(completed_order_.front());
+      completed_order_.pop_front();
+    }
+  }
+}
+
+Status SubmissionJournal::RecordAdmit(
+    const std::string& submission_id, const std::string& requester,
+    const std::vector<CrowdsourcingTask>& tasks) {
+  Result<WalAppendResult> appended =
+      wal_->Append(WalRecordType::kAdmit,
+                   EncodeAdmit(submission_id, requester, tasks));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!appended.ok()) {
+    ++stats_.append_errors;
+    return appended.status();
+  }
+  ++stats_.admits;
+  // Keep the first admit's seq on re-admission: retention must protect
+  // the oldest record that can prove this id was admitted.
+  live_admits_.emplace(submission_id, appended->seq);
+  return Status::OK();
+}
+
+Status SubmissionJournal::RecordComplete(const std::string& submission_id,
+                                         const SubmissionOutcome& outcome) {
+  std::string payload;
+  PutString(&payload, submission_id);
+  PutOutcome(&payload, outcome);
+  Result<WalAppendResult> appended =
+      wal_->AppendBuffered(WalRecordType::kComplete, payload);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!appended.ok()) {
+    ++stats_.append_errors;
+    return appended.status();
+  }
+  ++stats_.completes;
+  staged_outcomes_.emplace_back(submission_id, outcome);
+  return Status::OK();
+}
+
+Status SubmissionJournal::RecordReject(const std::string& submission_id) {
+  std::string payload;
+  PutString(&payload, submission_id);
+  Result<WalAppendResult> appended =
+      wal_->AppendBuffered(WalRecordType::kReject, payload);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!appended.ok()) {
+    ++stats_.append_errors;
+    return appended.status();
+  }
+  ++stats_.rejects;
+  live_admits_.erase(submission_id);
+  return Status::OK();
+}
+
+Status SubmissionJournal::SyncOutcomes() {
+  const Status synced = wal_->Sync();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!synced.ok()) ++stats_.append_errors;
+  // Publish staged outcomes even when the sync failed: durability is
+  // degraded (and reported), but in-process idempotency must keep
+  // matching what clients were told.
+  for (auto& [id, outcome] : staged_outcomes_) {
+    RetainOutcomeLocked(id, outcome);
+    live_admits_.erase(id);
+  }
+  staged_outcomes_.clear();
+  return synced;
+}
+
+bool SubmissionJournal::LookupCompleted(const std::string& submission_id,
+                                        SubmissionOutcome* outcome) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = completed_.find(submission_id);
+  if (it == completed_.end()) return false;
+  if (outcome != nullptr) *outcome = it->second;
+  return true;
+}
+
+Status SubmissionJournal::WriteCheckpoint() {
+  std::string payload;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PutU64(&payload, completed_order_.size());
+    for (const std::string& id : completed_order_) {
+      PutString(&payload, id);
+      PutOutcome(&payload, completed_.at(id));
+    }
+  }
+  const Result<WalAppendResult> appended =
+      wal_->Append(WalRecordType::kCheckpoint, payload);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!appended.ok()) {
+    ++stats_.append_errors;
+    return appended.status();
+  }
+  ++stats_.checkpoints;
+  return Status::OK();
+}
+
+Status SubmissionJournal::Compact() {
+  uint64_t min_live = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (live_admits_.empty()) {
+      min_live = wal_->last_seq() + 1;
+    } else {
+      min_live = UINT64_MAX;
+      for (const auto& [id, seq] : live_admits_) {
+        min_live = std::min(min_live, seq);
+      }
+    }
+  }
+  if (wal_->ReleasableSegments(min_live) == 0) return Status::OK();
+  // Re-persist the duplicate-id map before dropping segments: a released
+  // segment may hold the only complete record of a still-retained
+  // outcome, and losing it would let a crash re-bill an acked id.
+  SLADE_RETURN_NOT_OK(WriteCheckpoint());
+  return wal_->ReleaseSealedThrough(min_live);
+}
+
+Status SubmissionJournal::CommitRecovery() {
+  if (recovered_segment_paths_.empty()) return Status::OK();
+  // Checkpoint first: recovered outcomes currently exist only in the old
+  // segments this call is about to delete.
+  SLADE_RETURN_NOT_OK(WriteCheckpoint());
+  Status first_error;
+  for (const std::string& path : recovered_segment_paths_) {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT && first_error.ok()) {
+      first_error = Status::IOError("unlink " + path + ": " +
+                                    std::strerror(errno));
+    }
+  }
+  recovered_segment_paths_.clear();
+  return first_error;
+}
+
+JournalStats SubmissionJournal::stats() const {
+  JournalStats out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = stats_;
+    out.live_submissions = live_admits_.size();
+    out.retained_outcomes = completed_.size();
+  }
+  out.wal = wal_->stats();
+  return out;
+}
+
+}  // namespace slade

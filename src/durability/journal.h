@@ -1,0 +1,164 @@
+// Copyright (c) the SLADE reproduction authors.
+// SubmissionJournal: the WAL-backed implementation of DurabilityHooks.
+//
+// One journal owns one WAL directory and gives the serving stack its
+// crash story:
+//
+//  * Every admission is a durable kAdmit record before Submit returns;
+//    completions/rejections are kComplete/kReject records made durable by
+//    one SyncOutcomes barrier per micro-batch, before any future resolves.
+//  * Open() replays the log (repairing a torn tail in place): admits
+//    without a matching complete/reject come back as RecoveredSubmission,
+//    in admission order — re-admitting them in that order preserves the
+//    tenant interleaving the fairness scheduler had produced; completed
+//    outcomes seed the duplicate-id map, so idempotency survives restarts.
+//  * WriteCheckpoint() snapshots the outcome map into one kCheckpoint
+//    record (the clean-shutdown marker); Compact() deletes sealed
+//    segments that hold only closed submissions.
+//
+// Startup protocol (slade_cli serve --wal-dir):
+//
+//   auto opened = SubmissionJournal::Open(options);     // replay + repair
+//   StreamingEngine engine(profile, {..., .durability = journal});
+//   engine.ReplayRecovered(opened.pending);             // fresh admits
+//   journal->CommitRecovery();  // checkpoint, then drop old-generation
+//                               // segments the fresh records supersede
+//
+// Shutdown protocol: engine.Drain(); journal->WriteCheckpoint();
+// journal->Compact(); — the next Open finds a checkpointed log with no
+// live admits and skips straight past the replay work (clean_shutdown).
+//
+// Idempotency window: the duplicate-id map retains the most recent
+// `max_retained_outcomes` completions (FIFO eviction) and compaction may
+// drop older completions from disk; a duplicate arriving after its
+// outcome aged out is re-solved (and re-billed) as if new. Size the
+// window to exceed the clients' retry horizon.
+
+#ifndef SLADE_DURABILITY_JOURNAL_H_
+#define SLADE_DURABILITY_JOURNAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "durability/hooks.h"
+#include "durability/wal.h"
+
+namespace slade {
+
+struct JournalOptions {
+  WalOptions wal;
+  /// Duplicate-id outcomes retained in memory (and in checkpoints);
+  /// oldest-completion-first eviction beyond it. 0 = unbounded.
+  size_t max_retained_outcomes = 1u << 20;
+};
+
+/// \brief What Open() reconstructed, exported through stats().
+struct JournalRecoveryInfo {
+  uint64_t records_replayed = 0;
+  uint64_t segments_scanned = 0;
+  bool truncated = false;          ///< a torn/corrupt tail was cut
+  uint64_t truncated_bytes = 0;
+  std::string truncate_reason;
+  uint64_t decode_errors = 0;      ///< CRC-valid records that failed to parse
+  uint64_t pending_recovered = 0;  ///< admits with no complete/reject
+  uint64_t outcomes_recovered = 0;
+  /// True when the log ended in a checkpoint with no live admits: the
+  /// previous process drained and checkpointed before exiting.
+  bool clean_shutdown = false;
+};
+
+struct JournalStats {
+  WalStats wal;
+  JournalRecoveryInfo recovery;
+  uint64_t admits = 0;
+  uint64_t completes = 0;
+  uint64_t rejects = 0;
+  uint64_t checkpoints = 0;
+  uint64_t append_errors = 0;      ///< Record* calls the WAL refused
+  uint64_t live_submissions = 0;   ///< admitted, not yet closed
+  uint64_t retained_outcomes = 0;  ///< duplicate-id map size
+};
+
+class SubmissionJournal final : public DurabilityHooks {
+ public:
+  struct OpenResult {
+    std::unique_ptr<SubmissionJournal> journal;
+    /// Admitted-but-unresolved submissions, in admission order.
+    std::vector<RecoveredSubmission> pending;
+  };
+
+  /// Replays (and tail-repairs) `options.wal.dir`, seeds the duplicate-id
+  /// map from replayed outcomes, and opens a fresh log generation for new
+  /// records. The old generation's segments stay on disk until
+  /// CommitRecovery() so the recovered state stays crash-safe while it is
+  /// being re-admitted.
+  static Result<OpenResult> Open(JournalOptions options);
+
+  ~SubmissionJournal() override = default;
+
+  // --- DurabilityHooks ---
+  std::string GenerateSubmissionId() override;
+  Status RecordAdmit(const std::string& submission_id,
+                     const std::string& requester,
+                     const std::vector<CrowdsourcingTask>& tasks) override;
+  Status RecordComplete(const std::string& submission_id,
+                        const SubmissionOutcome& outcome) override;
+  Status RecordReject(const std::string& submission_id) override;
+  Status SyncOutcomes() override;
+  bool LookupCompleted(const std::string& submission_id,
+                       SubmissionOutcome* outcome) const override;
+  Status Compact() override;
+
+  /// Snapshots the duplicate-id map into one durable kCheckpoint record.
+  Status WriteCheckpoint();
+
+  /// Checkpoints, then deletes the pre-Open segment files: every record
+  /// they held is now superseded by the checkpoint plus the fresh admit
+  /// records ReplayRecovered wrote. Call once re-admission is done.
+  Status CommitRecovery();
+
+  JournalStats stats() const;
+  const WalWriter& wal() const { return *wal_; }
+
+ private:
+  SubmissionJournal(JournalOptions options, std::unique_ptr<WalWriter> wal)
+      : options_(std::move(options)), wal_(std::move(wal)) {}
+
+  /// Inserts into the duplicate-id map with FIFO eviction. Requires
+  /// mutex_ held.
+  void RetainOutcomeLocked(const std::string& submission_id,
+                           const SubmissionOutcome& outcome);
+
+  const JournalOptions options_;
+  std::unique_ptr<WalWriter> wal_;
+  /// Generation tag for GenerateSubmissionId: the first segment seq of
+  /// this writer, strictly increasing across restarts of the same dir.
+  uint64_t generation_ = 0;
+  std::atomic<uint64_t> next_auto_id_{0};
+  /// Old-generation segment paths replayed by Open, deleted by
+  /// CommitRecovery.
+  std::vector<std::string> recovered_segment_paths_;
+
+  mutable std::mutex mutex_;
+  /// Live admits: submission id -> admit record seq (this generation).
+  /// The smallest seq bounds what Compact may release.
+  std::unordered_map<std::string, uint64_t> live_admits_;
+  /// Outcomes staged by RecordComplete, published by SyncOutcomes.
+  std::vector<std::pair<std::string, SubmissionOutcome>> staged_outcomes_;
+  /// The duplicate-id map: only durable outcomes, FIFO-bounded.
+  std::unordered_map<std::string, SubmissionOutcome> completed_;
+  std::deque<std::string> completed_order_;
+  JournalStats stats_;
+};
+
+}  // namespace slade
+
+#endif  // SLADE_DURABILITY_JOURNAL_H_

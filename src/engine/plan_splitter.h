@@ -52,6 +52,14 @@ struct RequesterPlan {
   uint64_t flush_id = 0;
   /// Admission-to-delivery wall time of the owning submission.
   double latency_seconds = 0.0;
+  /// Idempotency id of the owning submission (client-supplied or
+  /// engine-generated when durability is on; empty otherwise).
+  std::string submission_id;
+  /// True when this is the replayed outcome of an already-completed
+  /// submission id: cost/bins_posted/flush_id/latency_seconds describe
+  /// the original delivery and `plan` is empty (placements are not
+  /// retained for replay — see durability/hooks.h).
+  bool duplicate = false;
 
   size_t num_tasks() const {
     return task_offsets.empty() ? 0 : task_offsets.size() - 1;

@@ -59,20 +59,43 @@ StreamingEngine::~StreamingEngine() {
 }
 
 std::future<Result<RequesterPlan>> StreamingEngine::Submit(
-    std::string requester_id, std::vector<CrowdsourcingTask> tasks) {
+    std::string requester_id, std::vector<CrowdsourcingTask> tasks,
+    std::string submission_id) {
   return SubmitWithPolicy(std::move(requester_id), std::move(tasks),
                           options_.resources.backpressure,
-                          /*rejected=*/nullptr);
+                          /*rejected=*/nullptr, std::move(submission_id));
 }
 
 Result<std::future<Result<RequesterPlan>>> StreamingEngine::TrySubmit(
-    std::string requester_id, std::vector<CrowdsourcingTask> tasks) {
+    std::string requester_id, std::vector<CrowdsourcingTask> tasks,
+    std::string submission_id) {
   Status rejected;
   std::future<Result<RequesterPlan>> future =
       SubmitWithPolicy(std::move(requester_id), std::move(tasks),
-                       BackpressurePolicy::kReject, &rejected);
+                       BackpressurePolicy::kReject, &rejected,
+                       std::move(submission_id));
   if (!rejected.ok()) return rejected;
   return future;
+}
+
+size_t StreamingEngine::ReplayRecovered(
+    std::vector<RecoveredSubmission> recovered) {
+  size_t admitted = 0;
+  for (RecoveredSubmission& sub : recovered) {
+    if (sub.tasks.empty()) continue;
+    Status rejected;
+    // kBlock regardless of the configured policy: recovered work was
+    // durably admitted before the crash and must not be dropped by
+    // backpressure now. The original client connection died with the
+    // crash, so the future is discarded — the plan is still solved,
+    // journaled and billed, and a retry of the id replays its outcome.
+    std::future<Result<RequesterPlan>> future = SubmitWithPolicy(
+        std::move(sub.requester), std::move(sub.tasks),
+        BackpressurePolicy::kBlock, &rejected, std::move(sub.submission_id));
+    (void)future;
+    if (rejected.ok()) ++admitted;
+  }
+  return admitted;
 }
 
 uint64_t StreamingEngine::WeightOf(const std::string& tenant) const {
@@ -232,7 +255,7 @@ std::vector<StreamingEngine::Pending> StreamingEngine::AssembleBatchLocked() {
 
 std::future<Result<RequesterPlan>> StreamingEngine::SubmitWithPolicy(
     std::string requester_id, std::vector<CrowdsourcingTask> tasks,
-    BackpressurePolicy policy, Status* rejected) {
+    BackpressurePolicy policy, Status* rejected, std::string submission_id) {
   std::promise<Result<RequesterPlan>> promise;
   std::future<Result<RequesterPlan>> future = promise.get_future();
   if (tasks.empty()) {
@@ -242,11 +265,77 @@ std::future<Result<RequesterPlan>> StreamingEngine::SubmitWithPolicy(
     return future;
   }
 
+  DurabilityHooks* const hooks = options_.durability;
+  if (hooks != nullptr && submission_id.empty()) {
+    // Durability needs an id for every submission: outcome records pair
+    // with their admit record by id.
+    submission_id = hooks->GenerateSubmissionId();
+  }
+  if (!submission_id.empty()) {
+    // Idempotency gate. Both checks run under the engine lock so they
+    // order against the publish path (ProcessBatch publishes the outcome
+    // to the journal *before* retiring the id from active_ids_): a
+    // duplicate either still sees the id active, or sees its outcome.
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (active_ids_.count(submission_id) != 0) {
+      Status status = Status::AlreadyExists(
+          "StreamingEngine: submission id '" + submission_id +
+          "' is already in flight");
+      lock.unlock();
+      if (rejected != nullptr) *rejected = status;
+      promise.set_value(std::move(status));
+      return future;
+    }
+    SubmissionOutcome outcome;
+    if (hooks != nullptr && hooks->LookupCompleted(submission_id, &outcome)) {
+      stats_.duplicate_hits += 1;
+      lock.unlock();
+      // Replay the original outcome: same billing metadata, no re-solve.
+      RequesterPlan replay;
+      replay.requester_id = std::move(requester_id);
+      replay.submission_id = std::move(submission_id);
+      replay.duplicate = true;
+      replay.cost = outcome.cost;
+      replay.bins_posted = outcome.bins_posted;
+      replay.flush_id = outcome.flush_id;
+      replay.latency_seconds = outcome.latency_seconds;
+      replay.task_offsets.reserve(tasks.size() + 1);
+      size_t offset = 0;
+      replay.task_offsets.push_back(0);
+      for (const CrowdsourcingTask& t : tasks) {
+        offset += t.size();
+        replay.task_offsets.push_back(offset);
+      }
+      promise.set_value(std::move(replay));
+      return future;
+    }
+    active_ids_.insert(submission_id);
+  }
+  if (hooks != nullptr) {
+    // Journal the admission before it can enter the pending queue: once
+    // this returns the submission is recoverable. Done outside the
+    // engine lock — it blocks on the group-commit fsync. A backpressure
+    // rejection below closes the id with a buffered reject record.
+    const Status journaled =
+        hooks->RecordAdmit(submission_id, requester_id, tasks);
+    if (!journaled.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        active_ids_.erase(submission_id);
+      }
+      if (rejected != nullptr) *rejected = journaled;
+      promise.set_value(journaled);
+      return future;
+    }
+  }
+
   Pending pending;
   pending.requester = std::move(requester_id);
+  pending.submission_id = std::move(submission_id);
   for (const CrowdsourcingTask& t : tasks) pending.num_atomic += t.size();
   pending.tasks = std::move(tasks);
-  pending.bytes = sizeof(Pending) + pending.requester.capacity();
+  pending.bytes = sizeof(Pending) + pending.requester.capacity() +
+                  pending.submission_id.capacity();
   for (const CrowdsourcingTask& t : pending.tasks) {
     pending.bytes += sizeof(CrowdsourcingTask) + t.size() * sizeof(double);
   }
@@ -329,9 +418,32 @@ std::future<Result<RequesterPlan>> StreamingEngine::SubmitWithPolicy(
           break;
       }
     }
+    if (!admitted && !pending.submission_id.empty()) {
+      active_ids_.erase(pending.submission_id);
+    }
+    for (const Pending& victim : shed) {
+      if (!victim.submission_id.empty()) {
+        active_ids_.erase(victim.submission_id);
+      }
+    }
     if (admitted) EnqueueLocked(std::move(pending));
   }
   if (admitted) wake_.notify_one();
+
+  if (hooks != nullptr) {
+    // Close journaled ids that will never complete. Buffered, not
+    // synced: losing a reject record to a crash merely re-admits work
+    // the client was told to retry — safe, since a rejection is never
+    // billed and never dedupable.
+    for (const Pending& victim : shed) {
+      if (!victim.submission_id.empty()) {
+        hooks->RecordReject(victim.submission_id);
+      }
+    }
+    if (!admitted && !pending.submission_id.empty()) {
+      hooks->RecordReject(pending.submission_id);
+    }
+  }
 
   for (Pending& victim : shed) {
     victim.promise.set_value(Status::ResourceExhausted(
@@ -499,6 +611,45 @@ void StreamingEngine::ProcessBatch(std::vector<Pending> batch,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     flush_id = next_flush_id_++;
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  DurabilityHooks* const hooks = options_.durability;
+  if (hooks != nullptr) {
+    // Journal every outcome of the micro-batch, then pay one durability
+    // barrier before any future resolves: an acked outcome is always on
+    // disk. SyncOutcomes also publishes the outcomes to the duplicate-id
+    // map; the ids retire from active_ids_ under the stats lock below,
+    // so a concurrent duplicate submit never falls between the two.
+    if (slices.ok()) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        SubmissionOutcome outcome;
+        const RequesterPlan& slice = (*slices)[i];
+        outcome.cost = slice.cost;
+        outcome.bins_posted = slice.bins_posted;
+        outcome.flush_id = flush_id;
+        outcome.num_tasks = spans[i].num_tasks;
+        outcome.num_atomic_tasks = batch[i].num_atomic;
+        outcome.latency_seconds =
+            std::chrono::duration<double>(now - batch[i].admitted).count();
+        hooks->RecordComplete(batch[i].submission_id, outcome);
+      }
+    } else {
+      // A failed solve closes every id without an outcome: the clients
+      // see the error and may retry the same ids for a real solve.
+      for (const Pending& p : batch) {
+        hooks->RecordReject(p.submission_id);
+      }
+    }
+    hooks->SyncOutcomes();
+    hooks->Compact();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Pending& p : batch) {
+      if (!p.submission_id.empty()) active_ids_.erase(p.submission_id);
+    }
     stats_.flushes += 1;
     switch (reason) {
       case FlushReason::kSize:
@@ -545,10 +696,10 @@ void StreamingEngine::ProcessBatch(std::vector<Pending> batch,
     return;
   }
 
-  const auto now = std::chrono::steady_clock::now();
   for (size_t i = 0; i < batch.size(); ++i) {
     RequesterPlan slice = std::move((*slices)[i]);
     slice.flush_id = flush_id;
+    slice.submission_id = batch[i].submission_id;
     slice.latency_seconds =
         std::chrono::duration<double>(now - batch[i].admitted).count();
     batch[i].promise.set_value(std::move(slice));

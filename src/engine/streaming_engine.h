@@ -43,6 +43,7 @@
 #include <future>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -50,6 +51,7 @@
 #include "binmodel/task.h"
 #include "binmodel/task_bin.h"
 #include "common/result.h"
+#include "durability/hooks.h"
 #include "engine/decomposition_engine.h"
 #include "engine/plan_splitter.h"
 #include "engine/resource_governor.h"
@@ -146,6 +148,14 @@ struct StreamingOptions {
   /// Multi-tenant quotas and weighted-fair flush scheduling (see
   /// FairnessOptions). Disabled by default: the single-FIFO behavior.
   FairnessOptions fairness;
+  /// Durability seam (see durability/hooks.h): when set, every admission
+  /// is journaled durably before Submit hands out its future, outcomes
+  /// are journaled (one durability barrier per micro-batch) before any
+  /// future resolves, and duplicate submission ids are answered from the
+  /// journal instead of re-solved. Non-owning; must outlive the engine.
+  /// nullptr = the previous in-memory-only behavior (duplicate ids are
+  /// then only detected while the original is still in flight).
+  DurabilityHooks* durability = nullptr;
 };
 
 /// \brief Admission counters, readable at any time via stats().
@@ -167,6 +177,9 @@ struct StreamingStats {
   uint64_t blocked = 0;   ///< Submit calls that had to wait for room
   /// Rejected by a per-tenant quota (fairness enabled; not in `rejected`).
   uint64_t rejected_tenant_quota = 0;
+  /// Submissions answered from the journal because their id had already
+  /// completed (no re-solve, no re-bill).
+  uint64_t duplicate_hits = 0;
   /// Queue occupancy at the stats() snapshot (pending, not yet flushed).
   uint64_t queue_submissions = 0;
   uint64_t queue_atomic_tasks = 0;
@@ -204,15 +217,37 @@ class StreamingEngine {
   /// fails the future with InvalidArgument without touching the pending
   /// batch; a queue-full rejection (kReject) or a later kShedOldest
   /// eviction fails it with ResourceExhausted.
+  ///
+  /// `submission_id` makes the submission idempotent: a duplicate of an
+  /// id that already completed resolves immediately to the original
+  /// outcome (RequesterPlan::duplicate set, nothing re-solved or
+  /// re-billed); a duplicate of an id still in flight fails with
+  /// AlreadyExists. With durability on (StreamingOptions::durability) an
+  /// empty id is replaced by a generated one, the admission is journaled
+  /// durably before this returns, and idempotency survives restarts;
+  /// without it, ids are only tracked while in flight.
   std::future<Result<RequesterPlan>> Submit(
-      std::string requester_id, std::vector<CrowdsourcingTask> tasks);
+      std::string requester_id, std::vector<CrowdsourcingTask> tasks,
+      std::string submission_id = {});
 
   /// Non-blocking admission: returns ResourceExhausted instead of a future
   /// when the queue has no room, regardless of the configured backpressure
-  /// policy (it never waits and never sheds). On success the returned
-  /// future behaves exactly like Submit()'s.
+  /// policy (it never waits and never sheds), and AlreadyExists for a
+  /// duplicate of an in-flight id. On success the returned future behaves
+  /// exactly like Submit()'s.
   Result<std::future<Result<RequesterPlan>>> TrySubmit(
-      std::string requester_id, std::vector<CrowdsourcingTask> tasks);
+      std::string requester_id, std::vector<CrowdsourcingTask> tasks,
+      std::string submission_id = {});
+
+  /// Re-admits submissions recovered from the journal on startup, in the
+  /// given order (their admission order at recovery time, preserving the
+  /// tenant interleaving the fairness scheduler had produced). Uses
+  /// kBlock semantics so recovered work cannot be dropped by
+  /// backpressure; ids whose outcome is already known resolve through
+  /// the duplicate path without a re-solve. The original clients are
+  /// gone, so the futures are discarded — the plans are still solved,
+  /// journaled and billed. Returns the number re-admitted.
+  size_t ReplayRecovered(std::vector<RecoveredSubmission> recovered);
 
   /// Asks the worker to flush whatever is pending, without waiting for
   /// the solve. No-op when nothing is pending.
@@ -234,6 +269,7 @@ class StreamingEngine {
  private:
   struct Pending {
     std::string requester;
+    std::string submission_id;  ///< idempotency id; empty = anonymous
     std::vector<CrowdsourcingTask> tasks;
     size_t num_atomic = 0;
     uint64_t bytes = 0;  ///< estimated queue charge for this submission
@@ -256,7 +292,8 @@ class StreamingEngine {
 
   std::future<Result<RequesterPlan>> SubmitWithPolicy(
       std::string requester_id, std::vector<CrowdsourcingTask> tasks,
-      BackpressurePolicy policy, Status* rejected);
+      BackpressurePolicy policy, Status* rejected,
+      std::string submission_id);
   /// True when `pending` may be admitted now: the queue is empty (a lone
   /// submission is never deadlocked by a cap smaller than itself) or the
   /// governor has room for it. Requires mutex_ held.
@@ -298,6 +335,11 @@ class StreamingEngine {
   // pending work. pending_count_ tracks submissions across all tenants.
   std::map<std::string, TenantState> tenants_;
   std::deque<std::string> ring_;
+  /// Submission ids currently in flight (admitted or being admitted, not
+  /// yet resolved): the in-process half of idempotency. A duplicate of a
+  /// member fails with AlreadyExists; ids leave the set when their
+  /// outcome is published (after the journal's durability barrier).
+  std::set<std::string> active_ids_;
   size_t pending_count_ = 0;
   uint64_t next_seq_ = 0;
   size_t pending_atomic_ = 0;

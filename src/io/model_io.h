@@ -49,6 +49,10 @@ Status SaveBatchWorkloadCsv(const std::vector<CrowdsourcingTask>& tasks,
 struct TimedSubmission {
   double arrival_ms = 0.0;
   std::string requester;
+  /// Idempotency id (see durability/hooks.h). Not part of the CSV format:
+  /// ingestion sources stamp it deterministically at replay time, so the
+  /// same tape replays with the same ids (empty = anonymous).
+  std::string submission_id;
   std::vector<CrowdsourcingTask> tasks;
 
   size_t num_atomic_tasks() const {

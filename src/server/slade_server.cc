@@ -25,6 +25,7 @@ const char* ReasonPhrase(int code) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
     case 413: return "Payload Too Large";
     case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
@@ -138,6 +139,14 @@ void SladeServer::Shutdown() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  if (options_.journal != nullptr) {
+    // Every worker has returned, so no submission futures are pending on
+    // HTTP requests; drain whatever else was fed in (e.g. a replay feed),
+    // then seal the journal so a restart on this WAL skips recovery.
+    engine_->Drain();
+    options_.journal->WriteCheckpoint();
+    options_.journal->Compact();
+  }
   if (listen_fd_ >= 0) {
     close(listen_fd_);
     listen_fd_ = -1;
@@ -490,7 +499,7 @@ std::string SladeServer::Handle(const HttpRequest& request,
     if (status_code == 429) stats_.rejected_429 += 1;
   }
   if (status_code >= 400 && status_code != 404 && status_code != 405 &&
-      status_code != 429) {
+      status_code != 409 && status_code != 429) {
     // Hard protocol-ish failures close; soft rejections keep the
     // connection for a retry.
     *close_connection = true;
@@ -519,6 +528,14 @@ std::string SladeServer::HandleSubmit(const HttpRequest& request,
       tasks_json->items.empty()) {
     *status_code = 400;
     return ErrorBody("'tasks' must be a non-empty array of threshold arrays");
+  }
+  std::string submission_id;
+  if (const JsonValue* id_json = doc->Find("submission_id")) {
+    if (!id_json->is_string() || id_json->string.empty()) {
+      *status_code = 400;
+      return ErrorBody("'submission_id' must be a non-empty string");
+    }
+    submission_id = id_json->string;
   }
   std::vector<CrowdsourcingTask> tasks;
   tasks.reserve(tasks_json->items.size());
@@ -549,8 +566,8 @@ std::string SladeServer::HandleSubmit(const HttpRequest& request,
   // submission is rejected / shed). That is intentional: under kBlock
   // backpressure a full queue becomes TCP backpressure on this
   // connection.
-  std::future<Result<RequesterPlan>> future =
-      engine_->Submit(requester->string, std::move(tasks));
+  std::future<Result<RequesterPlan>> future = engine_->Submit(
+      requester->string, std::move(tasks), std::move(submission_id));
   Result<RequesterPlan> plan = future.get();
   if (!plan.ok()) {
     const Status& status = plan.status();
@@ -560,6 +577,11 @@ std::string SladeServer::HandleSubmit(const HttpRequest& request,
       *status_code = 429;
     } else if (status.IsInvalidArgument()) {
       *status_code = 400;
+    } else if (status.IsAlreadyExists()) {
+      // The same submission_id is in flight right now (a *finished*
+      // duplicate replays the original outcome as 200 below). The client
+      // should wait for its first attempt rather than retry.
+      *status_code = 409;
     } else {
       *status_code = 500;
     }
@@ -570,6 +592,12 @@ std::string SladeServer::HandleSubmit(const HttpRequest& request,
   w.BeginObject();
   w.Key("requester");
   w.Value(plan->requester_id);
+  if (!plan->submission_id.empty()) {
+    w.Key("submission_id");
+    w.Value(plan->submission_id);
+  }
+  w.Key("duplicate");
+  w.Value(plan->duplicate);
   w.Key("num_tasks");
   w.Value(static_cast<uint64_t>(plan->num_tasks()));
   w.Key("num_atomic_tasks");
@@ -627,7 +655,67 @@ std::string SladeServer::HandleStats() {
   w.Value(engine_stats.queue_atomic_tasks);
   w.Key("queue_bytes");
   w.Value(engine_stats.queue_bytes);
+  w.Key("duplicate_hits");
+  w.Value(engine_stats.duplicate_hits);
   w.EndObject();
+
+  if (options_.journal != nullptr) {
+    const JournalStats journal_stats = options_.journal->stats();
+    w.Key("durability");
+    w.BeginObject();
+    w.Key("records_appended");
+    w.Value(journal_stats.wal.records_appended);
+    w.Key("bytes_appended");
+    w.Value(journal_stats.wal.bytes_appended);
+    w.Key("fsyncs");
+    w.Value(journal_stats.wal.fsyncs);
+    w.Key("commit_batches");
+    w.Value(journal_stats.wal.commit_batches);
+    w.Key("commit_batch_p50");
+    w.Value(journal_stats.wal.commit_batch_p50);
+    w.Key("commit_batch_p95");
+    w.Value(journal_stats.wal.commit_batch_p95);
+    w.Key("commit_batch_max");
+    w.Value(journal_stats.wal.commit_batch_max);
+    w.Key("segments_created");
+    w.Value(journal_stats.wal.segments_created);
+    w.Key("segments_deleted");
+    w.Value(journal_stats.wal.segments_deleted);
+    w.Key("active_segment");
+    w.Value(journal_stats.wal.active_segment);
+    w.Key("admits");
+    w.Value(journal_stats.admits);
+    w.Key("completes");
+    w.Value(journal_stats.completes);
+    w.Key("rejects");
+    w.Value(journal_stats.rejects);
+    w.Key("checkpoints");
+    w.Value(journal_stats.checkpoints);
+    w.Key("append_errors");
+    w.Value(journal_stats.append_errors);
+    w.Key("live_submissions");
+    w.Value(journal_stats.live_submissions);
+    w.Key("retained_outcomes");
+    w.Value(journal_stats.retained_outcomes);
+    w.Key("recovery");
+    w.BeginObject();
+    w.Key("records_replayed");
+    w.Value(journal_stats.recovery.records_replayed);
+    w.Key("segments_scanned");
+    w.Value(journal_stats.recovery.segments_scanned);
+    w.Key("truncated");
+    w.Value(journal_stats.recovery.truncated);
+    w.Key("truncated_bytes");
+    w.Value(journal_stats.recovery.truncated_bytes);
+    w.Key("pending_recovered");
+    w.Value(journal_stats.recovery.pending_recovered);
+    w.Key("outcomes_recovered");
+    w.Value(journal_stats.recovery.outcomes_recovered);
+    w.Key("clean_shutdown");
+    w.Value(journal_stats.recovery.clean_shutdown);
+    w.EndObject();
+    w.EndObject();
+  }
 
   w.Key("tenants");
   w.BeginArray();

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "durability/journal.h"
 #include "engine/streaming_engine.h"
 #include "server/http_parser.h"
 
@@ -65,6 +66,13 @@ struct ServerOptions {
   HttpParserLimits parser_limits;
   /// Advisory Retry-After (seconds) on 429 responses.
   uint64_t retry_after_seconds = 1;
+  /// Durability journal backing the engine (non-owning; must outlive the
+  /// server). When set, /v1/stats exports the durability counters and
+  /// Shutdown() finishes the crash-safety story: drain the engine, write
+  /// a clean-shutdown checkpoint, compact — so a restart on the same WAL
+  /// directory skips recovery. nullptr = no durability (previous
+  /// behavior).
+  SubmissionJournal* journal = nullptr;
 };
 
 /// \brief Wire-level counters, readable at any time via stats().

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -18,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "binmodel/profile_model.h"
+#include "durability/journal.h"
 #include "engine/streaming_engine.h"
 #include "server/slade_server.h"
 
@@ -70,6 +72,18 @@ int StatusCodeOf(const std::string& response) {
   return std::atoi(response.c_str() + 9);  // after "HTTP/1.1 "
 }
 
+/// Raw text of a top-level numeric JSON field, "" if absent. Good enough
+/// for comparing two responses' values for equality.
+std::string JsonNumberText(const std::string& response,
+                           const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = response.find(needle);
+  if (pos == std::string::npos) return "";
+  const size_t start = pos + needle.size();
+  const size_t end = response.find_first_of(",}", start);
+  return response.substr(start, end - start);
+}
+
 StreamingOptions FastFlushOptions() {
   StreamingOptions options;
   options.max_delay_seconds = 0.005;  // flush quickly: tests stay snappy
@@ -78,6 +92,13 @@ StreamingOptions FastFlushOptions() {
 
 class ServerIntegrationTest : public ::testing::Test {
  protected:
+  void TearDown() override {
+    server_.reset();   // before the engine it serves
+    engine_.reset();   // before the journal it journals to
+    journal_.reset();
+    if (!wal_dir_.empty()) std::filesystem::remove_all(wal_dir_);
+  }
+
   void StartServer(StreamingOptions engine_options,
                    ServerOptions server_options = {}) {
     auto profile = BuildProfile(MakeModel(DatasetKind::kJelly), 6);
@@ -89,6 +110,30 @@ class ServerIntegrationTest : public ::testing::Test {
     ASSERT_GT(server_->port(), 0);
   }
 
+  /// StartServer with the full durable wiring of `slade_cli serve
+  /// --wal-dir`: a journal under a test-private directory, hooked into
+  /// both the engine (admission/outcome journaling, duplicate replay)
+  /// and the server (stats export, shutdown checkpoint).
+  void StartDurableServer(StreamingOptions engine_options) {
+    wal_dir_ =
+        std::filesystem::path(::testing::TempDir()) /
+        (std::string("server_wal_") +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(wal_dir_);
+    JournalOptions journal_options;
+    journal_options.wal.dir = wal_dir_.string();
+    journal_options.wal.commit_wait_micros = 0;
+    auto opened = SubmissionJournal::Open(journal_options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    journal_ = std::move(opened->journal);
+    engine_options.durability = journal_.get();
+    ServerOptions server_options;
+    server_options.journal = journal_.get();
+    StartServer(engine_options, server_options);
+  }
+
+  std::filesystem::path wal_dir_;
+  std::unique_ptr<SubmissionJournal> journal_;  // outlives the engine
   std::unique_ptr<StreamingEngine> engine_;
   std::unique_ptr<SladeServer> server_;
 };
@@ -344,6 +389,124 @@ TEST_F(ServerIntegrationTest, ShutdownIsIdempotent) {
   std::thread b([&] { server_->Shutdown(); });
   a.join();
   b.join();
+}
+
+TEST_F(ServerIntegrationTest, SubmissionIdRoundTripsAndDuplicateReplays) {
+  StartDurableServer(FastFlushOptions());
+  const uint16_t port = server_->port();
+  const std::string body =
+      R"({"requester": "alice", "submission_id": "it-1",)"
+      R"( "tasks": [[0.9, 0.85]]})";
+
+  const std::string first = PostSubmit(port, body);
+  EXPECT_EQ(StatusCodeOf(first), 200) << first;
+  EXPECT_NE(first.find("\"submission_id\":\"it-1\""), std::string::npos)
+      << first;
+  EXPECT_NE(first.find("\"duplicate\":false"), std::string::npos) << first;
+  const std::string first_cost = JsonNumberText(first, "cost");
+  ASSERT_FALSE(first_cost.empty());
+
+  // Resubmitting the same id replays the journaled outcome: same cost,
+  // flagged duplicate, no second solve billed.
+  const std::string second = PostSubmit(port, body);
+  EXPECT_EQ(StatusCodeOf(second), 200) << second;
+  EXPECT_NE(second.find("\"duplicate\":true"), std::string::npos) << second;
+  EXPECT_EQ(JsonNumberText(second, "cost"), first_cost) << second;
+  EXPECT_EQ(engine_->stats().submissions, 1u);
+  EXPECT_EQ(engine_->stats().duplicate_hits, 1u);
+
+  // Malformed ids are schema violations, not admissions.
+  EXPECT_EQ(StatusCodeOf(PostSubmit(
+                port,
+                R"({"requester": "a", "submission_id": "",)"
+                R"( "tasks": [[0.9]]})")),
+            400);
+  EXPECT_EQ(StatusCodeOf(PostSubmit(
+                port,
+                R"({"requester": "a", "submission_id": 7,)"
+                R"( "tasks": [[0.9]]})")),
+            400);
+}
+
+TEST_F(ServerIntegrationTest, InFlightDuplicateIs409ThenReplaysAfterAck) {
+  // Park the engine so the first submission stays in flight: a duplicate
+  // arriving meanwhile cannot be answered from the journal yet and must
+  // be refused as a conflict rather than double-admitted.
+  StreamingOptions options;
+  options.max_delay_seconds = 3600.0;
+  options.max_pending_submissions = 1u << 20;
+  options.max_pending_atomic_tasks = 1u << 20;
+  StartDurableServer(options);
+  const uint16_t port = server_->port();
+  const std::string body =
+      R"({"requester": "alice", "submission_id": "dup-1",)"
+      R"( "tasks": [[0.9]]})";
+
+  std::string first;
+  std::thread holder([&] { first = PostSubmit(port, body); });
+  while (engine_->stats().queue_submissions == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::string conflicted = PostSubmit(port, body);
+  EXPECT_EQ(StatusCodeOf(conflicted), 409) << conflicted;
+
+  engine_->Flush();  // release the parked original
+  holder.join();
+  EXPECT_EQ(StatusCodeOf(first), 200) << first;
+  // Once the original is acked, the same id replays as a duplicate.
+  const std::string replay = PostSubmit(port, body);
+  EXPECT_EQ(StatusCodeOf(replay), 200) << replay;
+  EXPECT_NE(replay.find("\"duplicate\":true"), std::string::npos) << replay;
+  EXPECT_EQ(engine_->stats().submissions, 1u);
+}
+
+TEST_F(ServerIntegrationTest, StatsExposeDurabilityOnlyWhenJournaled) {
+  StartDurableServer(FastFlushOptions());
+  const uint16_t port = server_->port();
+  EXPECT_EQ(StatusCodeOf(PostSubmit(
+                port,
+                R"({"requester": "alice", "submission_id": "s-1",)"
+                R"( "tasks": [[0.9]]})")),
+            200);
+  const std::string stats =
+      RoundTrip(port, "GET /v1/stats HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(StatusCodeOf(stats), 200);
+  for (const char* key :
+       {"\"durability\":", "\"records_appended\":", "\"fsyncs\":",
+        "\"recovery\":", "\"duplicate_hits\":", "\"clean_shutdown\":"}) {
+    EXPECT_NE(stats.find(key), std::string::npos) << key << "\n" << stats;
+  }
+
+  // A journal-less server omits the section entirely.
+  TearDown();
+  StartServer(FastFlushOptions());
+  const std::string plain = RoundTrip(
+      server_->port(), "GET /v1/stats HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(StatusCodeOf(plain), 200);
+  EXPECT_EQ(plain.find("\"durability\":"), std::string::npos) << plain;
+}
+
+TEST_F(ServerIntegrationTest, ShutdownCheckpointMakesTheNextStartClean) {
+  StartDurableServer(FastFlushOptions());
+  EXPECT_EQ(StatusCodeOf(PostSubmit(
+                server_->port(),
+                R"({"requester": "alice", "submission_id": "ck-1",)"
+                R"( "tasks": [[0.9]]})")),
+            200);
+  server_->Shutdown();  // drains the engine, checkpoints, compacts
+  server_.reset();
+  engine_.reset();
+  journal_.reset();
+
+  JournalOptions journal_options;
+  journal_options.wal.dir = wal_dir_.string();
+  journal_options.wal.commit_wait_micros = 0;
+  auto reopened = SubmissionJournal::Open(journal_options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(reopened->journal->stats().recovery.clean_shutdown);
+  EXPECT_TRUE(reopened->pending.empty());
+  SubmissionOutcome outcome;
+  EXPECT_TRUE(reopened->journal->LookupCompleted("ck-1", &outcome));
 }
 
 TEST_F(ServerIntegrationTest, DestructorImpliesShutdown) {

@@ -3,6 +3,7 @@
 //   load_driver --port P [--host H] [--connections N] [--repeat R]
 //               (--workload TIMED.csv [--speed X] | --smoke)
 //               [--out NAME] [--tenants a,b,c]
+//               [--submission-id-prefix P] [--duplicate-replay]
 //
 // Replays a timed workload (CSV rows `arrival_ms,requester,task,threshold`,
 // the same format `slade_cli stream` consumes) against a running serve
@@ -13,12 +14,23 @@
 // smoke leg uses it against an unbounded server, so its 429 count is
 // deterministically zero and safe to gate on.
 //
+// --submission-id-prefix P stamps submission k of the workload with the
+// deterministic idempotency id "P-<k>" (requires a server started with
+// --wal-dir to mean anything). With --repeat R > 1, rounds after the
+// first re-send the same ids, so a durable server answers them from the
+// journal ("duplicate":true) without re-solving. --duplicate-replay goes
+// further and proves at-most-once semantics end to end: after the
+// measured run it re-sends every submission that was 2xx-acked and fails
+// (exit 1) unless each one comes back as a duplicate of the original --
+// a fresh solve there would be double billing.
+//
 // Emits BENCH_<NAME>.json (default NAME "server"; same schema family as
 // the bench harnesses): one overall record with p50/p95/p99 latency,
-// throughput and the 429 rate, plus one record per tenant with its
-// delivered throughput. Exit code is 0 when every request got an HTTP
-// response (429s included -- backpressure is an answer, not a failure)
-// and 1 on connect/protocol failures.
+// throughput, the 429 rate and the duplicate count, plus one record per
+// tenant with its delivered throughput. Exit code is 0 when every request
+// got an HTTP response (429s included -- backpressure is an answer, not a
+// failure) and 1 on connect/protocol failures or a failed
+// --duplicate-replay check.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -58,7 +70,8 @@ int Usage() {
       "usage:\n"
       "  load_driver --port P [--host H] [--connections N] [--repeat R]\n"
       "              (--workload TIMED.csv [--speed X] | --smoke)\n"
-      "              [--out NAME] \n");
+      "              [--out NAME] [--submission-id-prefix P] "
+      "[--duplicate-replay]\n");
   return 2;
 }
 
@@ -68,8 +81,9 @@ std::optional<std::map<std::string, std::string>> ParseFlags(int argc,
   for (int i = 1; i < argc; ++i) {
     const char* key = argv[i];
     if (std::strncmp(key, "--", 2) != 0) return std::nullopt;
-    if (std::strcmp(key, "--smoke") == 0) {
-      flags["smoke"] = "1";
+    if (std::strcmp(key, "--smoke") == 0 ||
+        std::strcmp(key, "--duplicate-replay") == 0) {
+      flags[key + 2] = "1";
       continue;
     }
     if (i + 1 >= argc) return std::nullopt;
@@ -82,6 +96,8 @@ struct Sample {
   int status_code = 0;       ///< 0 = transport failure
   double latency_seconds = 0.0;
   std::string tenant;
+  size_t index = 0;          ///< workload index this request replayed
+  bool duplicate = false;    ///< server answered from the journal
 };
 
 /// One keep-alive client connection with a blocking socket.
@@ -119,7 +135,9 @@ class ClientConnection {
 
   /// Sends one request and reads one response; returns the status code or
   /// 0 on a transport/framing failure (the connection is closed then).
-  int RoundTrip(const std::string& request) {
+  /// When `body_out` is non-null it receives the response body.
+  int RoundTrip(const std::string& request,
+                std::string* body_out = nullptr) {
     if (!EnsureConnected()) return 0;
     size_t sent = 0;
     while (sent < request.size()) {
@@ -158,6 +176,9 @@ class ClientConnection {
       }
       head.append(buf, static_cast<size_t>(n));
       have += static_cast<size_t>(n);
+    }
+    if (body_out != nullptr) {
+      *body_out = head.substr(header_end + 4, body_len);
     }
     residual_ = head.substr(header_end + 4 + body_len);
     if (ConnectionCloses(head, header_end)) Close();
@@ -202,9 +223,13 @@ class ClientConnection {
 };
 
 std::string BuildSubmitRequest(const std::string& host,
-                               const TimedSubmission& submission) {
-  std::string body = "{\"requester\": \"" + submission.requester +
-                     "\", \"tasks\": [";
+                               const TimedSubmission& submission,
+                               const std::string& submission_id) {
+  std::string body = "{\"requester\": \"" + submission.requester + "\", ";
+  if (!submission_id.empty()) {
+    body += "\"submission_id\": \"" + submission_id + "\", ";
+  }
+  body += "\"tasks\": [";
   for (size_t i = 0; i < submission.tasks.size(); ++i) {
     if (i > 0) body += ", ";
     body += "[";
@@ -306,12 +331,21 @@ int main(int argc, char** argv) {
   }
   const std::string out_name =
       flags->count("out") ? flags->at("out") : "server";
+  const std::string id_prefix = flags->count("submission-id-prefix")
+                                    ? flags->at("submission-id-prefix")
+                                    : "";
+  const bool duplicate_replay = flags->count("duplicate-replay") != 0;
+  if (duplicate_replay && id_prefix.empty()) {
+    return Fail("--duplicate-replay requires --submission-id-prefix");
+  }
 
   // Pre-render every request; the measured section only moves bytes.
   std::vector<std::string> requests;
   requests.reserve(workload.size());
-  for (const TimedSubmission& submission : workload) {
-    requests.push_back(BuildSubmitRequest(host, submission));
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const std::string submission_id =
+        id_prefix.empty() ? "" : id_prefix + "-" + std::to_string(i);
+    requests.push_back(BuildSubmitRequest(host, workload[i], submission_id));
   }
 
   // Each connection thread owns the submissions with index % connections
@@ -338,9 +372,14 @@ int main(int argc, char** argv) {
           }
           Sample sample;
           sample.tenant = workload[i].requester;
+          sample.index = i;
           Stopwatch latency;
-          sample.status_code = conn.RoundTrip(requests[i]);
+          std::string body;
+          sample.status_code = conn.RoundTrip(
+              requests[i], id_prefix.empty() ? nullptr : &body);
           sample.latency_seconds = latency.ElapsedSeconds();
+          sample.duplicate =
+              body.find("\"duplicate\":true") != std::string::npos;
           if (sample.status_code == 0) {
             transport_failures.fetch_add(1);
           }
@@ -355,6 +394,8 @@ int main(int argc, char** argv) {
   // Aggregate.
   std::vector<double> latencies;
   uint64_t total = 0, ok_2xx = 0, rejected_429 = 0, other_error = 0;
+  uint64_t duplicates = 0;
+  std::vector<bool> acked(workload.size(), false);  // any 2xx per index
   struct TenantAgg {
     uint64_t requests = 0;
     uint64_t ok_2xx = 0;
@@ -370,6 +411,8 @@ int main(int argc, char** argv) {
       if (sample.status_code >= 200 && sample.status_code < 300) {
         ok_2xx += 1;
         agg.ok_2xx += 1;
+        acked[sample.index] = true;
+        if (sample.duplicate) duplicates += 1;
         latencies.push_back(sample.latency_seconds);
       } else if (sample.status_code == 429) {
         rejected_429 += 1;
@@ -399,6 +442,11 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(other_error),
       static_cast<unsigned long long>(transport_failures.load()),
       p50 * 1e3, p95 * 1e3, p99 * 1e3);
+  if (!id_prefix.empty()) {
+    std::printf("  idempotency: %llu of the 2xx responses were journal "
+                "replays (\"duplicate\":true)\n",
+                static_cast<unsigned long long>(duplicates));
+  }
   for (const auto& [tenant, agg] : tenants) {
     std::printf("  tenant %-10s %6llu requests, %6llu delivered, "
                 "mean latency %.1f ms\n",
@@ -409,6 +457,35 @@ int main(int argc, char** argv) {
                     ? agg.latency_sum / static_cast<double>(agg.requests) *
                           1e3
                     : 0.0);
+  }
+
+  // Duplicate replay: re-send every acked submission on one fresh
+  // connection; each must come back as a journal replay of the original
+  // outcome. A fresh solve here means the platform billed twice for one
+  // submission id -- exactly what the WAL exists to prevent.
+  uint64_t replayed = 0, confirmed = 0, rebilled = 0, replay_errors = 0;
+  if (duplicate_replay) {
+    ClientConnection conn(host, port);
+    for (size_t i = 0; i < workload.size(); ++i) {
+      if (!acked[i]) continue;
+      replayed += 1;
+      std::string body;
+      const int status = conn.RoundTrip(requests[i], &body);
+      if (status < 200 || status >= 300) {
+        replay_errors += 1;
+      } else if (body.find("\"duplicate\":true") != std::string::npos) {
+        confirmed += 1;
+      } else {
+        rebilled += 1;
+      }
+    }
+    std::printf("duplicate replay: %llu acked submissions re-sent, "
+                "%llu answered from the journal, %llu re-billed, "
+                "%llu errors\n",
+                static_cast<unsigned long long>(replayed),
+                static_cast<unsigned long long>(confirmed),
+                static_cast<unsigned long long>(rebilled),
+                static_cast<unsigned long long>(replay_errors));
   }
 
   slade_bench::BenchJsonWriter json(out_name);
@@ -424,6 +501,14 @@ int main(int argc, char** argv) {
   json.Field("rejected_429_rate", rate_429);
   json.Field("transport_failures",
              static_cast<double>(transport_failures.load()));
+  if (!id_prefix.empty()) {
+    json.Field("duplicates", static_cast<double>(duplicates));
+  }
+  if (duplicate_replay) {
+    json.Field("duplicate_replayed", static_cast<double>(replayed));
+    json.Field("duplicate_confirmed", static_cast<double>(confirmed));
+    json.Field("duplicate_rebilled", static_cast<double>(rebilled));
+  }
   for (const auto& [tenant, agg] : tenants) {
     json.BeginRecord();
     json.Field("scope", "tenant");
@@ -438,5 +523,6 @@ int main(int argc, char** argv) {
   json.Write();
 
   if (transport_failures.load() > 0 || other_error > 0) return 1;
+  if (duplicate_replay && (rebilled > 0 || replay_errors > 0)) return 1;
   return 0;
 }

@@ -30,20 +30,23 @@
 //   slade_cli stream   --profile F --workload TIMED.csv [--threads K]
 //                      [--max-pending-atomic N] [--max-pending-submissions N]
 //                      [--max-delay-ms D] [--sharing isolated|pooled]
-//                      [--speed X]
+//                      [--speed X] [--loop N] [--id-prefix P]
 //                      [--cache-max-bytes B] [--cache-max-entries N]
 //                      [--cache-shards S] [--queue-max-atomic N]
 //                      [--queue-max-bytes B]
 //                      [--backpressure block|reject|shed-oldest]
 //       Replay a timed workload (CSV rows `arrival_ms,requester,task,
 //       threshold`) through the streaming admission engine and print
-//       per-requester summaries. --speed X replays arrivals X times
-//       faster than recorded; 0 (the default) submits without waiting.
-//       The cache-* flags bound the OPQ cache (LRU eviction) and the
-//       queue-* flags bound the pending admission queue; --backpressure
-//       picks what happens to a submission that does not fit (rejected
-//       and shed submissions are reported, not fatal). All limits
-//       default to 0 = unbounded.
+//       per-requester summaries. The tape is fed through the
+//       FileReplaySource ingestion connector (the same one `serve
+//       --replay` uses). --speed X replays arrivals X times faster than
+//       recorded; 0 (the default) submits without waiting. --loop N
+//       plays the tape N times end to end; --id-prefix P stamps
+//       deterministic submission ids "P-<k>". The cache-* flags bound
+//       the OPQ cache (LRU eviction) and the queue-* flags bound the
+//       pending admission queue; --backpressure picks what happens to a
+//       submission that does not fit (rejected and shed submissions are
+//       reported, not fatal). All limits default to 0 = unbounded.
 //
 //   slade_cli serve    (--profile F | --dataset jelly|smic
 //                       [--max-cardinality M])
@@ -53,6 +56,10 @@
 //                      [--fairness] [--fair-quantum N] [--default-weight W]
 //                      [--tenant-weights a=2,b=1] [--tenant-max-atomic N]
 //                      [--tenant-max-bytes B]
+//                      [--wal-dir DIR] [--wal-segment-bytes B]
+//                      [--commit-wait-micros U]
+//                      [--replay TIMED.csv] [--replay-speed X]
+//                      [--replay-loop N] [--replay-id-prefix P]
 //                      [+ the stream admission/backpressure flags]
 //       Serve the streaming engine over HTTP/1.1 (POST /v1/submit,
 //       GET /v1/stats, GET /healthz) until SIGINT/SIGTERM, then shut
@@ -61,6 +68,18 @@
 //       bound port is printed). The fairness flags enable per-tenant
 //       pending quotas and weighted-fair micro-batch scheduling;
 //       specifying any of them implies --fairness.
+//       --wal-dir turns on the durable submission journal: admissions
+//       are logged before they are acknowledged, completed outcomes are
+//       remembered for idempotent replay (clients may send a
+//       `submission_id` with POST /v1/submit), and on startup the WAL
+//       is replayed -- unfinished submissions are re-admitted and
+//       re-solved, finished ones answer duplicates without re-billing.
+//       Shutdown writes a clean checkpoint so the next start skips the
+//       replay scan. --replay feeds a timed workload tape through the
+//       ingestion connector in the background alongside HTTP traffic
+//       (--replay-speed 1 = recorded timing, 0 = unpaced;
+//       --replay-loop 0 = loop forever; --replay-id-prefix makes the
+//       feed idempotent across restarts on the same WAL).
 //
 //   slade_cli serve-loop --dataset jelly|smic --workload TIMED.csv
 //                      [--max-cardinality M] [--rounds R]
@@ -107,6 +126,8 @@
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
+#include "durability/ingestion.h"
+#include "durability/journal.h"
 #include "engine/closed_loop_engine.h"
 #include "engine/decomposition_engine.h"
 #include "engine/streaming_engine.h"
@@ -150,6 +171,7 @@ int Usage() {
       "[--max-pending-submissions N]\n"
       "                     [--max-delay-ms D] [--sharing isolated|pooled]"
       " [--speed X]\n"
+      "                     [--loop N] [--id-prefix P]\n"
       "                     [--cache-max-bytes B] [--cache-max-entries N]"
       " [--cache-shards S]\n"
       "                     [--queue-max-atomic N] [--queue-max-bytes B]\n"
@@ -163,6 +185,11 @@ int Usage() {
       "                     [--fair-quantum N] [--default-weight W] "
       "[--tenant-weights a=2,b=1]\n"
       "                     [--tenant-max-atomic N] [--tenant-max-bytes B]\n"
+      "                     [--wal-dir DIR] [--wal-segment-bytes B] "
+      "[--commit-wait-micros U]\n"
+      "                     [--replay FILE] [--replay-speed X] "
+      "[--replay-loop N]\n"
+      "                     [--replay-id-prefix P]\n"
       "                     [+ the stream admission/backpressure flags]\n"
       "  slade_cli serve-loop --dataset jelly|smic --workload FILE\n"
       "                     [--max-cardinality M] [--rounds R] "
@@ -528,8 +555,6 @@ int CmdStream(const std::map<std::string, std::string>& flags) {
   }
   auto profile = LoadBinProfileCsv(profile_flag->second);
   if (!profile.ok()) return Fail(profile.status().ToString());
-  auto submissions = LoadTimedWorkloadCsv(workload_flag->second);
-  if (!submissions.ok()) return Fail(submissions.status().ToString());
 
   StreamingOptions options;
   auto parse_size = [&](const char* key, size_t* out) -> bool {
@@ -563,6 +588,15 @@ int CmdStream(const std::map<std::string, std::string>& flags) {
     }
     speed = *parsed;
   }
+  FileReplayOptions replay_options;
+  replay_options.path = workload_flag->second;
+  replay_options.speedup = speed;
+  if (!ParseUintFlag(flags, "loop", &replay_options.loop_count)) return 1;
+  if (auto it = flags.find("id-prefix"); it != flags.end()) {
+    replay_options.submission_id_prefix = it->second;
+  }
+  auto source = FileReplaySource::Open(std::move(replay_options));
+  if (!source.ok()) return Fail(source.status().ToString());
 
   std::printf("streaming: sharing %s, flush at %zu atomic / %zu submissions"
               " / %.1f ms, backpressure %s\n",
@@ -572,21 +606,23 @@ int CmdStream(const std::map<std::string, std::string>& flags) {
               options.max_delay_seconds * 1e3,
               BackpressurePolicyName(options.resources.backpressure));
 
-  // Replay arrivals and collect one future per submission.
+  // Replay the tape through the ingestion connector and collect one
+  // future per submission.
   Stopwatch wall;
   StreamingEngine engine(*profile, options);
   std::vector<std::future<Result<RequesterPlan>>> futures;
-  futures.reserve(submissions->size());
-  for (const TimedSubmission& submission : *submissions) {
-    if (speed > 0.0) {
-      const double due = submission.arrival_ms / 1e3 / speed;
-      const double now = wall.ElapsedSeconds();
-      if (due > now) {
-        std::this_thread::sleep_for(
-            std::chrono::duration<double>(due - now));
-      }
-    }
-    futures.push_back(engine.Submit(submission.requester, submission.tasks));
+  std::vector<TimedSubmission> delivered;
+  futures.reserve((*source)->tape_size());
+  delivered.reserve((*source)->tape_size());
+  TimedSubmission submission;
+  for (;;) {
+    auto next = (*source)->Next(&submission);
+    if (!next.ok()) return Fail(next.status().ToString());
+    if (!*next) break;
+    delivered.push_back(submission);  // keeps the tasks for validation
+    futures.push_back(engine.Submit(submission.requester,
+                                    std::move(submission.tasks),
+                                    std::move(submission.submission_id)));
   }
   engine.Drain();
   const double replay_seconds = wall.ElapsedSeconds();
@@ -605,7 +641,7 @@ int CmdStream(const std::map<std::string, std::string>& flags) {
   bool all_feasible = true;
   uint64_t backpressured = 0;
   for (size_t i = 0; i < futures.size(); ++i) {
-    const TimedSubmission& submission = (*submissions)[i];
+    const TimedSubmission& delivered_submission = delivered[i];
     auto slice = futures[i].get();
     if (!slice.ok()) {
       // Rejected / shed submissions are an expected outcome of a bounded
@@ -616,7 +652,7 @@ int CmdStream(const std::map<std::string, std::string>& flags) {
       }
       return Fail(slice.status().ToString());
     }
-    auto merged = ConcatenateTasks(submission.tasks);
+    auto merged = ConcatenateTasks(delivered_submission.tasks);
     if (!merged.ok()) return Fail(merged.status().ToString());
     auto validation = ValidatePlan(slice->plan, *merged, *profile);
     if (!validation.ok()) return Fail(validation.status().ToString());
@@ -803,9 +839,87 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     server_options.address = it->second;
   }
 
+  // Durability: --wal-dir opens (and recovers) the submission journal
+  // before the engine exists, so every admission below is logged.
+  std::unique_ptr<SubmissionJournal> journal;
+  std::vector<RecoveredSubmission> recovered;
+  if (auto it = flags.find("wal-dir"); it != flags.end()) {
+    JournalOptions journal_options;
+    journal_options.wal.dir = it->second;
+    if (!ParseUintFlag(flags, "wal-segment-bytes",
+                       &journal_options.wal.segment_max_bytes) ||
+        !ParseUintFlag(flags, "commit-wait-micros",
+                       &journal_options.wal.commit_wait_micros)) {
+      return 1;
+    }
+    if (journal_options.wal.segment_max_bytes == 0) {
+      return Fail("--wal-segment-bytes must be >= 1");
+    }
+    auto opened = SubmissionJournal::Open(std::move(journal_options));
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    journal = std::move(opened->journal);
+    recovered = std::move(opened->pending);
+    options.durability = journal.get();
+  }
+  server_options.journal = journal.get();
+
+  // Background tape feed through the ingestion connector (optional).
+  std::unique_ptr<FileReplaySource> replay_source;
+  if (auto it = flags.find("replay"); it != flags.end()) {
+    FileReplayOptions replay_options;
+    replay_options.path = it->second;
+    if (!ParseDoubleFlag(flags, "replay-speed", 0.0, 1e9,
+                         &replay_options.speedup) ||
+        !ParseUintFlag(flags, "replay-loop", &replay_options.loop_count)) {
+      return 1;
+    }
+    if (auto prefix = flags.find("replay-id-prefix");
+        prefix != flags.end()) {
+      replay_options.submission_id_prefix = prefix->second;
+    }
+    auto src = FileReplaySource::Open(std::move(replay_options));
+    if (!src.ok()) return Fail(src.status().ToString());
+    replay_source = std::move(*src);
+  }
+
   StreamingEngine engine(*profile, options);
+  if (journal != nullptr) {
+    const JournalRecoveryInfo recovery = journal->stats().recovery;
+    const size_t readmitted = engine.ReplayRecovered(std::move(recovered));
+    if (Status st = journal->CommitRecovery(); !st.ok()) {
+      return Fail(st.ToString());
+    }
+    std::string torn;
+    if (recovery.truncated) {
+      torn = " (torn tail: " + std::to_string(recovery.truncated_bytes) +
+             " bytes truncated, " + recovery.truncate_reason + ")";
+    }
+    std::printf(
+        "wal: %s; %llu records over %llu segments, %llu outcomes retained, "
+        "%zu unfinished submissions re-admitted%s\n",
+        recovery.clean_shutdown ? "clean shutdown" : "recovered",
+        static_cast<unsigned long long>(recovery.records_replayed),
+        static_cast<unsigned long long>(recovery.segments_scanned),
+        static_cast<unsigned long long>(recovery.outcomes_recovered),
+        readmitted, torn.c_str());
+  }
   SladeServer server(&engine, server_options);
   if (Status st = server.Start(); !st.ok()) return Fail(st.ToString());
+
+  std::thread replay_thread;
+  if (replay_source != nullptr) {
+    replay_thread = std::thread([&engine, source = replay_source.get()] {
+      TimedSubmission submission;
+      for (;;) {
+        auto next = source->Next(&submission);
+        if (!next.ok() || !*next) return;
+        // Fire and forget: the feed's outcomes show up in /v1/stats, and
+        // a rejected submission is an expected backpressure outcome.
+        engine.Submit(submission.requester, std::move(submission.tasks),
+                      std::move(submission.submission_id));
+      }
+    });
+  }
 
   std::printf("listening on %s:%u (%zu workers, %s sharing, fairness %s, "
               "backpressure %s)\n",
@@ -821,6 +935,10 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   std::printf("shutting down: draining in-flight requests\n");
+  if (replay_source != nullptr) replay_source->Cancel();
+  if (replay_thread.joinable()) replay_thread.join();
+  // Shutdown drains the engine and, with --wal-dir, writes the
+  // clean-shutdown checkpoint so the next start skips the replay scan.
   server.Shutdown();
   engine.Drain();
 
@@ -839,6 +957,27 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
       static_cast<unsigned long long>(engine_stats.submissions),
       static_cast<unsigned long long>(engine_stats.flushes),
       engine_stats.solve_seconds, engine_stats.total_cost);
+  if (replay_source != nullptr) {
+    std::printf("replay feed: %llu submissions delivered from the tape\n",
+                static_cast<unsigned long long>(replay_source->delivered()));
+  }
+  if (journal != nullptr) {
+    const JournalStats journal_stats = journal->stats();
+    std::printf(
+        "durability: %llu records appended (%llu admits, %llu completes, "
+        "%llu rejects, %llu checkpoints), %llu fsyncs, "
+        "commit batch p50 %.1f / p95 %.1f, %llu duplicate hits\n",
+        static_cast<unsigned long long>(
+            journal_stats.wal.records_appended),
+        static_cast<unsigned long long>(journal_stats.admits),
+        static_cast<unsigned long long>(journal_stats.completes),
+        static_cast<unsigned long long>(journal_stats.rejects),
+        static_cast<unsigned long long>(journal_stats.checkpoints),
+        static_cast<unsigned long long>(journal_stats.wal.fsyncs),
+        journal_stats.wal.commit_batch_p50,
+        journal_stats.wal.commit_batch_p95,
+        static_cast<unsigned long long>(engine_stats.duplicate_hits));
+  }
   return 0;
 }
 
