@@ -30,9 +30,19 @@ Result<PowerLawConfidenceFit> PowerLawConfidenceFit::Fit(
     swxx += w * x * x;
     swxy += w * x * y;
   }
-  if (seen.size() < 2) {
+  if (seen.empty()) {
     return Status::InvalidArgument(
-        "power-law fit needs probes at >= 2 distinct cardinalities");
+        "power-law fit needs at least one probe with answers");
+  }
+  if (seen.size() == 1) {
+    // One probed cardinality cannot identify a slope. Fall back to the
+    // flat model p = 0 with the pooled counting estimate as base: the fit
+    // then predicts the same confidence at every cardinality, which is
+    // the best unbiased answer the data supports (and what the online
+    // recalibration loop needs when a platform only ever serves bins of
+    // one size).
+    const double failure = std::clamp(std::exp(swy / sw), 1e-6, 1.0 - 1e-6);
+    return PowerLawConfidenceFit(failure, 0.0);
   }
   const double denom = sw * swxx - swx * swx;
   if (std::fabs(denom) < 1e-12) {

@@ -50,8 +50,12 @@ double CountingEstimate(const ProbeObservation& obs);
 /// can also extrapolate to cardinalities that were never probed.
 class PowerLawConfidenceFit {
  public:
-  /// Fits the model. Needs >= 2 distinct cardinalities with at least one
-  /// answer each; observations with zero errors contribute via smoothing.
+  /// Fits the model. Needs at least one observation with answers;
+  /// observations with zero errors contribute via smoothing. With probes
+  /// at a single distinct cardinality the slope is unidentifiable and the
+  /// fit degrades to the flat model p = 0 at the pooled failure estimate
+  /// (predicting the same confidence at every cardinality); >= 2 distinct
+  /// cardinalities fit the full power law.
   static Result<PowerLawConfidenceFit> Fit(
       const std::vector<ProbeObservation>& observations);
 
@@ -77,9 +81,11 @@ enum class CalibrationMethod {
 /// \brief Builds a solver-facing `BinProfile` from probe outcomes.
 ///
 /// Observations must cover every cardinality 1..m for `kCounting`; for
-/// `kRegression` any >= 2 distinct probed cardinalities suffice and the
-/// missing ones are interpolated. Costs for unprobed cardinalities are
-/// linearly interpolated between the nearest probed ones.
+/// `kRegression` any non-empty probe set suffices and the missing
+/// cardinalities are interpolated (a single probed cardinality yields the
+/// flat fallback fit -- see PowerLawConfidenceFit::Fit). Costs for
+/// unprobed cardinalities are linearly interpolated between the nearest
+/// probed ones.
 Result<BinProfile> CalibrateProfile(
     const std::vector<ProbeObservation>& observations, uint32_t m,
     CalibrationMethod method);

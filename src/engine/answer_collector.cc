@@ -74,6 +74,26 @@ void AnswerCollector::CountOutageRetry() {
   ++stats_.outage_retries;
 }
 
+void AnswerCollector::CountCalibration(uint32_t cardinality, uint64_t correct,
+                                       uint64_t total, double bin_cost) {
+  if (total == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ProbeObservation& obs = calibration_[cardinality];
+  obs.cardinality = cardinality;
+  obs.correct += correct;
+  obs.total += total;
+  obs.bin_cost = bin_cost;
+}
+
+std::vector<ProbeObservation> AnswerCollector::TakeCalibrationCounts() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ProbeObservation> out;
+  out.reserve(calibration_.size());
+  for (const auto& [cardinality, obs] : calibration_) out.push_back(obs);
+  calibration_.clear();
+  return out;
+}
+
 std::vector<WorkerAnswer> AnswerCollector::TakeAnswers() {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<WorkerAnswer> out;
@@ -177,13 +197,17 @@ void SimulatedDispatcher::PostPlacementCopy(
     const AssignmentOutcome& assignment = outcome.assignments.front();
     std::vector<WorkerAnswer> answers;
     answers.reserve(global_ids.size());
+    uint64_t calibration_correct = 0;
     for (size_t k = 0; k < global_ids.size(); ++k) {
       WorkerAnswer answer;
       answer.worker = assignment.worker_id;
       answer.task = global_ids[k];
       answer.answer = assignment.answers[k];
+      if (answer.answer == truth[k]) ++calibration_correct;
       answers.push_back(answer);
     }
+    collector->CountCalibration(placement.cardinality, calibration_correct,
+                                global_ids.size(), bin.cost);
     collector->Accept(std::move(answers), outcome.overtime, bin.cost);
   }
 }

@@ -20,9 +20,11 @@
 #define SLADE_ENGINE_ANSWER_COLLECTOR_H_
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <vector>
 
+#include "binmodel/calibration.h"
 #include "binmodel/task.h"
 #include "binmodel/task_bin.h"
 #include "common/result.h"
@@ -57,6 +59,19 @@ class AnswerCollector {
   void CountDroppedBin();
   void CountOutageRetry();
 
+  /// Folds one posted copy's scoring into the per-cardinality calibration
+  /// tally: `correct` of `total` collected answers at `cardinality`
+  /// matched the known ground truth. Fed by the dispatcher, which is the
+  /// only layer that still knows both the serving cardinality and the
+  /// truth (WorkerAnswer records neither).
+  void CountCalibration(uint32_t cardinality, uint64_t correct,
+                        uint64_t total, double bin_cost);
+
+  /// Moves the per-cardinality tallies out as ProbeObservations (sorted by
+  /// cardinality), ready for ProfileRegistry::FoldOutcomes or
+  /// CalibrateProfile. The tallies reset; counters stay.
+  std::vector<ProbeObservation> TakeCalibrationCounts();
+
   /// Moves the collected answers out (the collector keeps its counters).
   std::vector<WorkerAnswer> TakeAnswers();
 
@@ -65,6 +80,7 @@ class AnswerCollector {
  private:
   mutable std::mutex mutex_;
   std::vector<WorkerAnswer> answers_;
+  std::map<uint32_t, ProbeObservation> calibration_;
   DispatchStats stats_;
 };
 

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <future>
+#include <set>
 #include <utility>
 
 #include "common/math_util.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "engine/answer_collector.h"
+#include "engine/profile_registry.h"
 
 namespace slade {
 
@@ -164,6 +166,7 @@ Result<ClosedLoopReport> ClosedLoopEngine::Run(
     std::vector<RequesterPlan> slices;
     if (options_.keep_round_plans) slices.reserve(round_subs.size());
     const double platform_spent_before = platform.total_spent();
+    std::set<std::string> served_platforms;
     for (RoundSubmission& sub : round_subs) {
       Result<RequesterPlan> slice = sub.future.get();
       if (!slice.ok()) {
@@ -178,6 +181,7 @@ Result<ClosedLoopReport> ClosedLoopEngine::Run(
       ++stats.submissions;
       stats.atomic_tasks += slice->num_atomic_tasks();
       stats.billed_cost += slice->cost;
+      if (!slice->platform.empty()) served_platforms.insert(slice->platform);
       SLADE_RETURN_NOT_OK(dispatcher.Dispatch(
           slice->plan, sub.global_of_local, truth, &collector));
       if (options_.keep_round_plans) {
@@ -186,6 +190,22 @@ Result<ClosedLoopReport> ClosedLoopEngine::Run(
     }
     dispatcher.Wait();
     stats.dispatch_seconds = dispatch_watch.ElapsedSeconds();
+
+    // Online recalibration: fold the round's scored answers into the
+    // served platform's candidate profile. The simulator is one
+    // marketplace, so the fold only applies when exactly one platform
+    // served the round -- mixed-platform rounds would attribute one
+    // marketplace's reliability to several platforms. A promotion (if the
+    // drift tolerance trips) takes effect at the next admission; work
+    // already admitted keeps its epoch.
+    if (options_.streaming.registry != nullptr &&
+        served_platforms.size() == 1) {
+      Result<uint64_t> folded = options_.streaming.registry->FoldOutcomes(
+          *served_platforms.begin(), collector.TakeCalibrationCounts());
+      if (!folded.ok() && !folded.status().IsNotFound()) {
+        return folded.status();
+      }
+    }
     round_subs.clear();
     if (options_.keep_round_plans) {
       report.round_plans.push_back(std::move(slices));

@@ -182,7 +182,8 @@ DecompositionEngine::DecompositionEngine(EngineOptions options)
 DecompositionEngine::~DecompositionEngine() = default;
 
 Result<BatchReport> DecompositionEngine::SolveBatch(
-    const std::vector<CrowdsourcingTask>& tasks, const BinProfile& profile) {
+    const std::vector<CrowdsourcingTask>& tasks, const BinProfile& profile,
+    uint64_t opq_salt) {
   if (tasks.empty()) {
     return Status::InvalidArgument("SolveBatch: empty batch");
   }
@@ -210,7 +211,8 @@ Result<BatchReport> DecompositionEngine::SolveBatch(
     Stopwatch shard_watch;
     const ShardSpec& shard = shards[s];
     const double surrogate = InverseLogReduction(shard.theta_upper);
-    auto lookup = cache_.GetOrBuild(profile, surrogate, build_options);
+    auto lookup =
+        cache_.GetOrBuild(profile, surrogate, build_options, opq_salt);
     if (!lookup.ok()) {
       shard_status[s] = lookup.status();
       return;

@@ -146,12 +146,21 @@ class DecompositionEngine {
 
   /// Decomposes the whole batch under `profile`. Deterministic: the merged
   /// plan depends only on (tasks, profile, options.sharing), never on
-  /// thread count or cache state. Fails on an empty batch or invalid
-  /// thresholds.
+  /// thread count, cache state or `opq_salt`. Fails on an empty batch or
+  /// invalid thresholds.
+  ///
+  /// `opq_salt` namespaces this solve's OPQ cache entries (see
+  /// OpqCache::GetOrBuild): multi-platform callers pass the serving
+  /// (platform, epoch) salt so an epoch promotion can evict exactly its
+  /// own builds. 0 (the default) is the single-profile namespace.
   Result<BatchReport> SolveBatch(const std::vector<CrowdsourcingTask>& tasks,
-                                 const BinProfile& profile);
+                                 const BinProfile& profile,
+                                 uint64_t opq_salt = 0);
 
   const OpqCache& cache() const { return cache_; }
+  /// Mutable cache access for targeted epoch invalidation
+  /// (OpqCache::EvictBySalt); eviction never changes any plan.
+  OpqCache& mutable_cache() { return cache_; }
   size_t num_threads() const { return pool_->num_threads(); }
 
   /// Ledger of plan-arena bytes: shard and merged plans charge this

@@ -132,9 +132,13 @@ void OpqCache::EnforceCapacity(const Entry* keep) {
 
 Result<OpqCache::Lookup> OpqCache::GetOrBuild(const BinProfile& profile,
                                               double threshold,
-                                              const OpqBuildOptions& options) {
+                                              const OpqBuildOptions& options,
+                                              uint64_t salt) {
+  // The salt is folded in before the mask so the fingerprint_mask test
+  // hook can still force cross-salt collisions onto one key; the
+  // structural guard below then disambiguates on (salt, bins).
   const uint64_t fingerprint =
-      ProfileFingerprint(profile) & options_.fingerprint_mask;
+      HashCombine(ProfileFingerprint(profile), salt) & options_.fingerprint_mask;
   const Key key{fingerprint, DoubleBits(threshold)};
   Shard& shard = ShardOf(key);
 
@@ -144,7 +148,8 @@ Result<OpqCache::Lookup> OpqCache::GetOrBuild(const BinProfile& profile,
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto& chain = shard.index[key];
     for (const auto& it : chain) {
-      if (SameProfile(it->entry->profile_bins, profile)) {
+      if (it->entry->salt == salt &&
+          SameProfile(it->entry->profile_bins, profile)) {
         entry = it->entry;
         // Refresh recency: move the node to the LRU front.
         shard.lru.splice(shard.lru.begin(), shard.lru, it);
@@ -158,6 +163,7 @@ Result<OpqCache::Lookup> OpqCache::GetOrBuild(const BinProfile& profile,
       shard.misses += 1;
       entry = std::make_shared<Entry>();
       entry->profile_bins = profile.bins();
+      entry->salt = salt;
       entry->last_used = tick_.fetch_add(1) + 1;
       shard.lru.push_front(Node{key, entry});
       chain.push_back(shard.lru.begin());
@@ -269,6 +275,22 @@ void OpqCache::Clear() {
     shard->lru.clear();
     shard->index.clear();
   }
+}
+
+size_t OpqCache::EvictBySalt(uint64_t salt) {
+  size_t evicted = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      auto next = std::next(it);
+      if (it->entry->salt == salt) {
+        EvictNodeLocked(shard.get(), it);
+        evicted += 1;
+      }
+      it = next;
+    }
+  }
+  return evicted;
 }
 
 void OpqCache::ResetStats() {

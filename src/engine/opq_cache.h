@@ -109,8 +109,15 @@ class OpqCache {
   /// Returns the memoized queue for (profile, threshold), building it on
   /// first use. A failed build is memoized too (same inputs would fail the
   /// same way) and its Status is returned to every caller of the key.
+  ///
+  /// `salt` is folded into the fingerprint half of the key and stored on
+  /// the entry: callers serving many platforms pass a per-(platform,
+  /// epoch) salt so structurally identical profiles from different
+  /// platforms (or epochs of one platform) never share an entry, and
+  /// EvictBySalt can drop exactly one platform-epoch's entries.
   Result<Lookup> GetOrBuild(const BinProfile& profile, double threshold,
-                            const OpqBuildOptions& options = {});
+                            const OpqBuildOptions& options = {},
+                            uint64_t salt = 0);
 
   /// Number of distinct entries currently held (built or failed).
   size_t size() const;
@@ -128,6 +135,13 @@ class OpqCache {
   /// NOT touched -- a long-running server clearing its cache keeps honest
   /// cumulative stats.
   void Clear();
+
+  /// Drops every entry inserted under `salt`, leaving all other entries
+  /// (and their recency order) untouched. Returns the number of entries
+  /// evicted. This is how an epoch promotion invalidates exactly the
+  /// retired (platform, epoch)'s builds and nothing else; queues already
+  /// handed out remain valid through their shared_ptr.
+  size_t EvictBySalt(uint64_t salt);
 
   /// Zeroes the lifetime counters without touching the entries.
   void ResetStats();
@@ -147,6 +161,7 @@ class OpqCache {
   struct Entry {
     // Immutable after creation.
     std::vector<TaskBin> profile_bins;  ///< structural identity (collision guard)
+    uint64_t salt = 0;  ///< caller-supplied namespace (platform epoch)
 
     // Guarded by build_mutex.
     std::mutex build_mutex;

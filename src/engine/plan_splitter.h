@@ -60,6 +60,11 @@ struct RequesterPlan {
   /// the original delivery and `plan` is empty (placements are not
   /// retained for replay — see durability/hooks.h).
   bool duplicate = false;
+  /// Serving platform and profile epoch the slice was solved under
+  /// (registry-routed serving only; empty/0 in single-profile mode and on
+  /// duplicate replays, whose journal records predate the routing).
+  std::string platform;
+  uint64_t epoch = 0;
 
   size_t num_tasks() const {
     return task_offsets.empty() ? 0 : task_offsets.size() - 1;

@@ -1,0 +1,354 @@
+#include "engine/profile_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/math_util.h"
+
+namespace slade {
+
+const char* RoutingPolicyName(RoutingPolicy policy) {
+  switch (policy) {
+    case RoutingPolicy::kCheapest:
+      return "cheapest";
+    case RoutingPolicy::kStickyRequester:
+      return "sticky";
+    case RoutingPolicy::kExplicit:
+      return "explicit";
+  }
+  return "unknown";
+}
+
+Result<RoutingPolicy> ParseRoutingPolicy(const std::string& name) {
+  if (name == "cheapest") return RoutingPolicy::kCheapest;
+  if (name == "sticky") return RoutingPolicy::kStickyRequester;
+  if (name == "explicit") return RoutingPolicy::kExplicit;
+  return Status::InvalidArgument(
+      "unknown routing policy '" + name +
+      "' (expected cheapest, sticky or explicit)");
+}
+
+ProfileRegistry::ProfileRegistry(RecalibrationOptions recalibration)
+    : recalibration_(recalibration) {}
+
+uint64_t ProfileRegistry::SaltOf(const std::string& platform_id,
+                                 uint64_t epoch) {
+  uint64_t h = UINT64_C(0x51ade'ca11);
+  for (char c : platform_id) {
+    h = HashCombine(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  }
+  h = HashCombine(h, epoch);
+  // 0 is the "unsalted" sentinel of single-profile callers; remap the
+  // (astronomically unlikely) collision so EvictBySalt(salt) can never
+  // sweep unsalted entries.
+  return h == 0 ? UINT64_C(1) : h;
+}
+
+double ProfileRegistry::EstimateCost(
+    const BinProfile& profile, const std::vector<CrowdsourcingTask>& tasks) {
+  const std::vector<double>& weights = profile.log_weights();
+  const std::vector<double>& unit_costs = profile.costs_per_task();
+  double total = 0.0;
+  for (const CrowdsourcingTask& task : tasks) {
+    for (double theta : task.thetas()) {
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < weights.size(); ++i) {
+        const double copies = std::ceil(theta / weights[i] - kRelEps);
+        const double cost = std::max(1.0, copies) * unit_costs[i];
+        if (cost < best) best = cost;
+      }
+      total += best;
+    }
+  }
+  return total;
+}
+
+PlatformSnapshot ProfileRegistry::SnapshotLocked(
+    const std::string& platform_id, const PlatformState& state) const {
+  PlatformSnapshot snapshot;
+  snapshot.platform_id = platform_id;
+  snapshot.epoch = state.epoch;
+  snapshot.salt = state.salt;
+  snapshot.profile = state.profile;
+  return snapshot;
+}
+
+Result<uint64_t> ProfileRegistry::Register(const std::string& platform_id,
+                                           BinProfile profile) {
+  if (platform_id.empty()) {
+    return Status::InvalidArgument("platform id must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  PlatformState& state = platforms_[platform_id];
+  if (state.live) {
+    return Status::AlreadyExists("platform '" + platform_id +
+                                 "' is already registered");
+  }
+  // Epochs stay monotonic across retire/re-register: a revived platform
+  // continues its epoch sequence, so salts of old epochs never come back.
+  state.live = true;
+  state.epoch += 1;
+  state.salt = SaltOf(platform_id, state.epoch);
+  state.profile = std::make_shared<const BinProfile>(std::move(profile));
+  state.pending.clear();
+  state.folded_since_attempt = 0;
+  state.counters.platform_id = platform_id;
+  state.counters.epoch = state.epoch;
+  state.counters.live = true;
+  return state.epoch;
+}
+
+Status ProfileRegistry::Retire(const std::string& platform_id) {
+  uint64_t retired_salt = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = platforms_.find(platform_id);
+    if (it == platforms_.end() || !it->second.live) {
+      return Status::NotFound("platform '" + platform_id +
+                              "' is not registered");
+    }
+    it->second.live = false;
+    it->second.counters.live = false;
+    it->second.pending.clear();
+    it->second.folded_since_attempt = 0;
+    retired_salt = it->second.salt;
+  }
+  NotifyEpochChange(platform_id, retired_salt, /*new_epoch=*/0);
+  return Status::OK();
+}
+
+uint64_t ProfileRegistry::PromoteLocked(const std::string& platform_id,
+                                        PlatformState* state,
+                                        BinProfile profile) {
+  const uint64_t retired_salt = state->salt;
+  state->epoch += 1;
+  state->salt = SaltOf(platform_id, state->epoch);
+  state->profile = std::make_shared<const BinProfile>(std::move(profile));
+  state->pending.clear();
+  state->folded_since_attempt = 0;
+  state->counters.epoch = state->epoch;
+  state->counters.promotions += 1;
+  return retired_salt;
+}
+
+Result<uint64_t> ProfileRegistry::Promote(const std::string& platform_id,
+                                          BinProfile profile) {
+  uint64_t retired_salt = 0;
+  uint64_t new_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = platforms_.find(platform_id);
+    if (it == platforms_.end() || !it->second.live) {
+      return Status::NotFound("platform '" + platform_id +
+                              "' is not registered");
+    }
+    retired_salt =
+        PromoteLocked(platform_id, &it->second, std::move(profile));
+    new_epoch = it->second.epoch;
+  }
+  NotifyEpochChange(platform_id, retired_salt, new_epoch);
+  return new_epoch;
+}
+
+Result<PlatformSnapshot> ProfileRegistry::Current(
+    const std::string& platform_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = platforms_.find(platform_id);
+  if (it == platforms_.end() || !it->second.live) {
+    return Status::NotFound("platform '" + platform_id +
+                            "' is not registered");
+  }
+  return SnapshotLocked(platform_id, it->second);
+}
+
+std::vector<PlatformSnapshot> ProfileRegistry::LiveSnapshots() const {
+  std::vector<PlatformSnapshot> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [id, state] : platforms_) {
+    if (state.live) out.push_back(SnapshotLocked(id, state));
+  }
+  return out;
+}
+
+size_t ProfileRegistry::live_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (const auto& [id, state] : platforms_) {
+    if (state.live) ++n;
+  }
+  return n;
+}
+
+Result<PlatformSnapshot> ProfileRegistry::Route(
+    const std::string& requester_id,
+    const std::vector<CrowdsourcingTask>& tasks, RoutingPolicy policy,
+    const std::string& platform_hint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A named platform always wins: the HTTP `platform` field is an
+  // explicit client instruction under every policy.
+  if (!platform_hint.empty()) {
+    auto it = platforms_.find(platform_hint);
+    if (it == platforms_.end() || !it->second.live) {
+      return Status::NotFound("platform '" + platform_hint +
+                              "' is not registered");
+    }
+    return SnapshotLocked(platform_hint, it->second);
+  }
+  if (policy == RoutingPolicy::kExplicit) {
+    return Status::InvalidArgument(
+        "explicit routing requires a platform field on every submission");
+  }
+  if (policy == RoutingPolicy::kStickyRequester) {
+    auto pin = sticky_.find(requester_id);
+    if (pin != sticky_.end()) {
+      auto it = platforms_.find(pin->second);
+      if (it != platforms_.end() && it->second.live) {
+        return SnapshotLocked(pin->second, it->second);
+      }
+      sticky_.erase(pin);  // pinned platform retired: re-route below
+    }
+  }
+  // Cheapest live platform; map order makes the tie-break the smaller
+  // platform id, so routing is deterministic.
+  const PlatformState* best = nullptr;
+  const std::string* best_id = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const auto& [id, state] : platforms_) {
+    if (!state.live) continue;
+    const double cost = EstimateCost(*state.profile, tasks);
+    if (cost < best_cost) {
+      best = &state;
+      best_id = &id;
+      best_cost = cost;
+    }
+  }
+  if (best == nullptr) {
+    return Status::NotFound("no live platforms registered");
+  }
+  if (policy == RoutingPolicy::kStickyRequester) {
+    sticky_[requester_id] = *best_id;
+  }
+  return SnapshotLocked(*best_id, *best);
+}
+
+void ProfileRegistry::RecordRouted(const std::string& platform_id,
+                                   uint64_t num_tasks,
+                                   uint64_t num_atomic_tasks) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = platforms_.find(platform_id);
+  if (it == platforms_.end()) return;
+  it->second.counters.routed_submissions += 1;
+  it->second.counters.routed_tasks += num_tasks;
+  it->second.counters.routed_atomic_tasks += num_atomic_tasks;
+}
+
+void ProfileRegistry::RecordBilled(const std::string& platform_id,
+                                   double cost) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = platforms_.find(platform_id);
+  if (it == platforms_.end()) return;
+  it->second.counters.billed_cost += cost;
+}
+
+Result<uint64_t> ProfileRegistry::FoldOutcomes(
+    const std::string& platform_id,
+    const std::vector<ProbeObservation>& outcomes) {
+  uint64_t retired_salt = 0;
+  uint64_t new_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = platforms_.find(platform_id);
+    if (it == platforms_.end() || !it->second.live) {
+      return Status::NotFound("platform '" + platform_id +
+                              "' is not registered");
+    }
+    PlatformState& state = it->second;
+    const uint32_t m = state.profile->max_cardinality();
+    for (const ProbeObservation& obs : outcomes) {
+      if (obs.cardinality == 0 || obs.cardinality > m || obs.total == 0) {
+        continue;
+      }
+      ProbeObservation& slot = state.pending[obs.cardinality];
+      slot.cardinality = obs.cardinality;
+      slot.total += obs.total;
+      slot.correct += obs.correct;
+      state.folded_since_attempt += obs.total;
+      state.counters.answers_folded += obs.total;
+    }
+    if (recalibration_.recalibrate_every == 0 ||
+        state.folded_since_attempt < recalibration_.recalibrate_every) {
+      return UINT64_C(0);
+    }
+    state.folded_since_attempt = 0;
+
+    // Refit a candidate from everything accumulated since the last
+    // promotion; bin costs carry over from the current epoch (streamed
+    // answers score correctness, not prices).
+    std::vector<ProbeObservation> probes;
+    probes.reserve(state.pending.size());
+    for (const auto& [l, obs] : state.pending) {
+      ProbeObservation probe = obs;
+      probe.bin_cost = state.profile->bin(l).cost;
+      probes.push_back(probe);
+    }
+    Result<BinProfile> candidate =
+        CalibrateProfile(probes, m, recalibration_.method);
+    if (!candidate.ok()) {
+      // Not enough signal yet (e.g. one distinct cardinality under
+      // kCounting): keep accumulating and try again next window.
+      return UINT64_C(0);
+    }
+    double delta = 0.0;
+    for (uint32_t l = 1; l <= m; ++l) {
+      delta = std::max(delta, std::fabs(candidate->bin(l).confidence -
+                                        state.profile->bin(l).confidence));
+    }
+    state.counters.last_recalibration_delta = delta;
+    if (delta <= recalibration_.drift_tolerance) return UINT64_C(0);
+    retired_salt =
+        PromoteLocked(platform_id, &state, std::move(*candidate));
+    new_epoch = state.epoch;
+  }
+  NotifyEpochChange(platform_id, retired_salt, new_epoch);
+  return new_epoch;
+}
+
+std::vector<PlatformStats> ProfileRegistry::stats() const {
+  std::vector<PlatformStats> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(platforms_.size());
+  for (const auto& [id, state] : platforms_) {
+    out.push_back(state.counters);
+  }
+  return out;
+}
+
+uint64_t ProfileRegistry::AddEpochListener(EpochListener listener) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t id = next_listener_id_++;
+  listeners_[id] = std::move(listener);
+  return id;
+}
+
+void ProfileRegistry::RemoveEpochListener(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  listeners_.erase(id);
+}
+
+void ProfileRegistry::NotifyEpochChange(const std::string& platform_id,
+                                        uint64_t retired_salt,
+                                        uint64_t new_epoch) {
+  std::vector<EpochListener> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    listeners.reserve(listeners_.size());
+    for (const auto& [id, fn] : listeners_) listeners.push_back(fn);
+  }
+  for (const EpochListener& fn : listeners) {
+    fn(platform_id, retired_salt, new_epoch);
+  }
+}
+
+}  // namespace slade

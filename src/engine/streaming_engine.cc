@@ -46,9 +46,26 @@ StreamingEngine::StreamingEngine(BinProfile profile, StreamingOptions options)
       engine_(ToEngineOptions(options_)),
       governor_(options_.resources.queue_max_bytes,
                 options_.resources.queue_max_atomic_tasks),
-      worker_(&StreamingEngine::WorkerLoop, this) {}
+      worker_(&StreamingEngine::WorkerLoop, this) {
+  if (options_.registry != nullptr) {
+    // Epoch promotions (and retires) invalidate exactly the retired
+    // (platform, epoch)'s OPQ builds. In-flight batches are unaffected:
+    // they hold their queues by shared_ptr and their profile snapshots by
+    // admission-time pin.
+    epoch_listener_id_ = options_.registry->AddEpochListener(
+        [this](const std::string& /*platform_id*/, uint64_t retired_salt,
+               uint64_t /*new_epoch*/) {
+          engine_.mutable_cache().EvictBySalt(retired_salt);
+        });
+  }
+}
 
 StreamingEngine::~StreamingEngine() {
+  // Unsubscribe before tearing anything down so a concurrent promotion
+  // can no longer call into this engine's cache.
+  if (options_.registry != nullptr && epoch_listener_id_ != 0) {
+    options_.registry->RemoveEpochListener(epoch_listener_id_);
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutdown_ = true;
@@ -60,20 +77,21 @@ StreamingEngine::~StreamingEngine() {
 
 std::future<Result<RequesterPlan>> StreamingEngine::Submit(
     std::string requester_id, std::vector<CrowdsourcingTask> tasks,
-    std::string submission_id) {
+    std::string submission_id, std::string platform_hint) {
   return SubmitWithPolicy(std::move(requester_id), std::move(tasks),
                           options_.resources.backpressure,
-                          /*rejected=*/nullptr, std::move(submission_id));
+                          /*rejected=*/nullptr, std::move(submission_id),
+                          std::move(platform_hint));
 }
 
 Result<std::future<Result<RequesterPlan>>> StreamingEngine::TrySubmit(
     std::string requester_id, std::vector<CrowdsourcingTask> tasks,
-    std::string submission_id) {
+    std::string submission_id, std::string platform_hint) {
   Status rejected;
   std::future<Result<RequesterPlan>> future =
       SubmitWithPolicy(std::move(requester_id), std::move(tasks),
                        BackpressurePolicy::kReject, &rejected,
-                       std::move(submission_id));
+                       std::move(submission_id), std::move(platform_hint));
   if (!rejected.ok()) return rejected;
   return future;
 }
@@ -91,7 +109,8 @@ size_t StreamingEngine::ReplayRecovered(
     // journaled and billed, and a retry of the id replays its outcome.
     std::future<Result<RequesterPlan>> future = SubmitWithPolicy(
         std::move(sub.requester), std::move(sub.tasks),
-        BackpressurePolicy::kBlock, &rejected, std::move(sub.submission_id));
+        BackpressurePolicy::kBlock, &rejected, std::move(sub.submission_id),
+        /*platform_hint=*/{});
     (void)future;
     if (rejected.ok()) ++admitted;
   }
@@ -255,7 +274,8 @@ std::vector<StreamingEngine::Pending> StreamingEngine::AssembleBatchLocked() {
 
 std::future<Result<RequesterPlan>> StreamingEngine::SubmitWithPolicy(
     std::string requester_id, std::vector<CrowdsourcingTask> tasks,
-    BackpressurePolicy policy, Status* rejected, std::string submission_id) {
+    BackpressurePolicy policy, Status* rejected, std::string submission_id,
+    std::string platform_hint) {
   std::promise<Result<RequesterPlan>> promise;
   std::future<Result<RequesterPlan>> future = promise.get_future();
   if (tasks.empty()) {
@@ -263,6 +283,22 @@ std::future<Result<RequesterPlan>> StreamingEngine::SubmitWithPolicy(
         "StreamingEngine::Submit: empty submission from requester '" +
         requester_id + "'"));
     return future;
+  }
+
+  // Registry mode: pick the serving platform now and pin its current
+  // epoch. Everything after admission -- the batch solve, the cache key,
+  // the billing echo -- uses this snapshot, so a promotion between
+  // admission and flush never reroutes or re-plans admitted work.
+  PlatformSnapshot routed;
+  if (options_.registry != nullptr) {
+    Result<PlatformSnapshot> route = options_.registry->Route(
+        requester_id, tasks, options_.routing, platform_hint);
+    if (!route.ok()) {
+      if (rejected != nullptr) *rejected = route.status();
+      promise.set_value(route.status());
+      return future;
+    }
+    routed = std::move(*route);
   }
 
   DurabilityHooks* const hooks = options_.durability;
@@ -332,6 +368,10 @@ std::future<Result<RequesterPlan>> StreamingEngine::SubmitWithPolicy(
   Pending pending;
   pending.requester = std::move(requester_id);
   pending.submission_id = std::move(submission_id);
+  pending.platform = routed.platform_id;
+  pending.epoch = routed.epoch;
+  pending.salt = routed.salt;
+  pending.profile = routed.profile;
   for (const CrowdsourcingTask& t : tasks) pending.num_atomic += t.size();
   pending.tasks = std::move(tasks);
   pending.bytes = sizeof(Pending) + pending.requester.capacity() +
@@ -341,6 +381,8 @@ std::future<Result<RequesterPlan>> StreamingEngine::SubmitWithPolicy(
   }
   pending.admitted = std::chrono::steady_clock::now();
   pending.promise = std::move(promise);
+  const uint64_t routed_tasks = pending.tasks.size();
+  const uint64_t routed_atomic = pending.num_atomic;
 
   const FairnessOptions& fairness = options_.fairness;
   bool admitted = true;
@@ -428,7 +470,13 @@ std::future<Result<RequesterPlan>> StreamingEngine::SubmitWithPolicy(
     }
     if (admitted) EnqueueLocked(std::move(pending));
   }
-  if (admitted) wake_.notify_one();
+  if (admitted) {
+    wake_.notify_one();
+    if (options_.registry != nullptr) {
+      options_.registry->RecordRouted(routed.platform_id, routed_tasks,
+                                      routed_atomic);
+    }
+  }
 
   if (hooks != nullptr) {
     // Close journaled ids that will never complete. Buffered, not
@@ -582,29 +630,84 @@ void StreamingEngine::WorkerLoop() {
 
 void StreamingEngine::ProcessBatch(std::vector<Pending> batch,
                                    FlushReason reason) {
-  // Concatenate the micro-batch in admission order; each submission is one
-  // contiguous requester span, so the merged plan splits right back.
-  std::vector<CrowdsourcingTask> tasks;
-  std::vector<RequesterSpan> spans;
-  spans.reserve(batch.size());
-  for (Pending& p : batch) {
-    RequesterSpan span;
-    span.requester_id = p.requester;
-    span.first_task = tasks.size();
-    span.num_tasks = p.tasks.size();
-    spans.push_back(std::move(span));
-    for (CrowdsourcingTask& t : p.tasks) tasks.push_back(std::move(t));
+  // Partition the micro-batch by serving (platform, epoch). Without a
+  // registry every submission lands in one group keyed by the engine's
+  // fixed profile (salt 0) -- exactly the previous single-solve path. In
+  // registry mode each group solves against its members' admission-epoch
+  // snapshot, so submissions admitted before a promotion are planned
+  // under the profile they were admitted with. Groups preserve admission
+  // order, and members keep their admission order within a group.
+  struct Group {
+    const BinProfile* profile = nullptr;
+    uint64_t salt = 0;
+    std::vector<size_t> members;  ///< indices into `batch`
+  };
+  std::vector<Group> groups;
+  if (options_.registry == nullptr) {
+    Group group;
+    group.profile = &profile_;
+    group.members.resize(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) group.members[i] = i;
+    groups.push_back(std::move(group));
+  } else {
+    std::map<std::pair<std::string, uint64_t>, size_t> index;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const auto key = std::make_pair(batch[i].platform, batch[i].epoch);
+      auto it = index.find(key);
+      if (it == index.end()) {
+        it = index.emplace(key, groups.size()).first;
+        Group group;
+        group.profile = batch[i].profile.get();
+        group.salt = batch[i].salt;
+        groups.push_back(std::move(group));
+      }
+      groups[it->second].members.push_back(i);
+    }
   }
 
-  Result<BatchReport> report = engine_.SolveBatch(tasks, profile_);
+  // Solve each group and scatter its slices back to the batch slots. A
+  // failed group fails only its own members, with the status a direct
+  // SolveBatch call would have returned.
+  std::vector<RequesterPlan> slice_of(batch.size());
+  std::vector<Status> status_of(batch.size());
+  double solve_seconds = 0.0;
+  double batch_cost_total = 0.0;   // engine cost across groups
+  double slice_cost_total = 0.0;   // delivered slice costs across groups
+  bool any_solved = false;
+  for (const Group& group : groups) {
+    std::vector<CrowdsourcingTask> tasks;
+    std::vector<RequesterSpan> spans;
+    spans.reserve(group.members.size());
+    for (size_t i : group.members) {
+      Pending& p = batch[i];
+      RequesterSpan span;
+      span.requester_id = p.requester;
+      span.first_task = tasks.size();
+      span.num_tasks = p.tasks.size();
+      spans.push_back(std::move(span));
+      for (CrowdsourcingTask& t : p.tasks) tasks.push_back(std::move(t));
+    }
 
-  Result<std::vector<RequesterPlan>> slices =
-      report.ok() ? PlanSplitter::SplitBySpans(*report, profile_, spans)
-                  : Result<std::vector<RequesterPlan>>(report.status());
-
-  double slice_cost_total = 0.0;
-  if (slices.ok()) {
-    for (const RequesterPlan& slice : *slices) slice_cost_total += slice.cost;
+    Result<BatchReport> report =
+        engine_.SolveBatch(tasks, *group.profile, group.salt);
+    Result<std::vector<RequesterPlan>> slices =
+        report.ok()
+            ? PlanSplitter::SplitBySpans(*report, *group.profile, spans)
+            : Result<std::vector<RequesterPlan>>(report.status());
+    if (!slices.ok()) {
+      for (size_t i : group.members) status_of[i] = slices.status();
+      continue;
+    }
+    any_solved = true;
+    solve_seconds += report->wall_seconds;
+    batch_cost_total += report->total_cost;
+    for (size_t k = 0; k < group.members.size(); ++k) {
+      const size_t i = group.members[k];
+      slice_of[i] = std::move((*slices)[k]);
+      slice_of[i].platform = batch[i].platform;
+      slice_of[i].epoch = batch[i].epoch;
+      slice_cost_total += slice_of[i].cost;
+    }
   }
 
   uint64_t flush_id = 0;
@@ -621,25 +724,23 @@ void StreamingEngine::ProcessBatch(std::vector<Pending> batch,
     // disk. SyncOutcomes also publishes the outcomes to the duplicate-id
     // map; the ids retire from active_ids_ under the stats lock below,
     // so a concurrent duplicate submit never falls between the two.
-    if (slices.ok()) {
-      for (size_t i = 0; i < batch.size(); ++i) {
-        SubmissionOutcome outcome;
-        const RequesterPlan& slice = (*slices)[i];
-        outcome.cost = slice.cost;
-        outcome.bins_posted = slice.bins_posted;
-        outcome.flush_id = flush_id;
-        outcome.num_tasks = spans[i].num_tasks;
-        outcome.num_atomic_tasks = batch[i].num_atomic;
-        outcome.latency_seconds =
-            std::chrono::duration<double>(now - batch[i].admitted).count();
-        hooks->RecordComplete(batch[i].submission_id, outcome);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!status_of[i].ok()) {
+        // A failed solve closes the id without an outcome: the client
+        // sees the error and may retry the same id for a real solve.
+        hooks->RecordReject(batch[i].submission_id);
+        continue;
       }
-    } else {
-      // A failed solve closes every id without an outcome: the clients
-      // see the error and may retry the same ids for a real solve.
-      for (const Pending& p : batch) {
-        hooks->RecordReject(p.submission_id);
-      }
+      SubmissionOutcome outcome;
+      const RequesterPlan& slice = slice_of[i];
+      outcome.cost = slice.cost;
+      outcome.bins_posted = slice.bins_posted;
+      outcome.flush_id = flush_id;
+      outcome.num_tasks = slice.num_tasks();
+      outcome.num_atomic_tasks = batch[i].num_atomic;
+      outcome.latency_seconds =
+          std::chrono::duration<double>(now - batch[i].admitted).count();
+      hooks->RecordComplete(batch[i].submission_id, outcome);
     }
     hooks->SyncOutcomes();
     hooks->Compact();
@@ -662,23 +763,24 @@ void StreamingEngine::ProcessBatch(std::vector<Pending> batch,
         stats_.flushes_by_drain += 1;
         break;
     }
-    if (report.ok()) {
-      stats_.solve_seconds += report->wall_seconds;
-      stats_.total_cost += report->total_cost;
+    if (any_solved) {
+      stats_.solve_seconds += solve_seconds;
+      stats_.total_cost += batch_cost_total;
     }
-    if (options_.fairness.enabled && slices.ok()) {
+    if (options_.fairness.enabled) {
       // Per-tenant delivery accounting. Billed = the tenant's slice
       // costs; platform = the batch cost apportioned by billed share
       // (equal to billed under kIsolated, smaller under kPooled).
       std::set<std::string> counted;
       for (size_t i = 0; i < batch.size(); ++i) {
+        if (!status_of[i].ok()) continue;
         TenantState& state = tenants_[batch[i].requester];
-        const double cost = (*slices)[i].cost;
+        const double cost = slice_of[i].cost;
         state.counters.delivered += 1;
         state.counters.billed_cost += cost;
         state.counters.platform_cost +=
             slice_cost_total > 0.0
-                ? report->total_cost * (cost / slice_cost_total)
+                ? batch_cost_total * (cost / slice_cost_total)
                 : 0.0;
         // A tenant with several submissions in the batch still counts
         // this micro-batch once.
@@ -689,15 +791,20 @@ void StreamingEngine::ProcessBatch(std::vector<Pending> batch,
     }
   }
 
-  if (!slices.ok()) {
-    // A failed micro-batch fails every submission in it, with the same
-    // status a direct SolveBatch call would have returned.
-    for (Pending& p : batch) p.promise.set_value(slices.status());
-    return;
+  if (options_.registry != nullptr) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (status_of[i].ok() && !batch[i].platform.empty()) {
+        options_.registry->RecordBilled(batch[i].platform, slice_of[i].cost);
+      }
+    }
   }
 
   for (size_t i = 0; i < batch.size(); ++i) {
-    RequesterPlan slice = std::move((*slices)[i]);
+    if (!status_of[i].ok()) {
+      batch[i].promise.set_value(status_of[i]);
+      continue;
+    }
+    RequesterPlan slice = std::move(slice_of[i]);
     slice.flush_id = flush_id;
     slice.submission_id = batch[i].submission_id;
     slice.latency_seconds =

@@ -54,6 +54,7 @@
 #include "durability/hooks.h"
 #include "engine/decomposition_engine.h"
 #include "engine/plan_splitter.h"
+#include "engine/profile_registry.h"
 #include "engine/resource_governor.h"
 
 namespace slade {
@@ -156,6 +157,16 @@ struct StreamingOptions {
   /// nullptr = the previous in-memory-only behavior (duplicate ids are
   /// then only detected while the original is still in flight).
   DurabilityHooks* durability = nullptr;
+  /// Multi-platform seam (see engine/profile_registry.h): when set, every
+  /// submission is routed to a registered platform under `routing` and
+  /// solved against that platform's admission-epoch profile snapshot --
+  /// the constructor profile is unused on this path. The engine
+  /// subscribes to epoch changes and evicts exactly the retired epoch's
+  /// OPQ cache entries. Non-owning; must outlive the engine. nullptr =
+  /// single-profile serving, byte-for-byte the previous behavior.
+  ProfileRegistry* registry = nullptr;
+  /// Routing policy applied when `registry` is set.
+  RoutingPolicy routing = RoutingPolicy::kCheapest;
 };
 
 /// \brief Admission counters, readable at any time via stats().
@@ -201,7 +212,9 @@ class StreamingEngine {
  public:
   /// The platform's bin profile is fixed for the engine's lifetime: every
   /// submission is decomposed against `profile`, and the OPQ cache warms
-  /// up across all of them.
+  /// up across all of them. With StreamingOptions::registry set the
+  /// profile instead comes from the routed platform's current epoch per
+  /// submission and `profile` is only a fallback identity.
   explicit StreamingEngine(BinProfile profile, StreamingOptions options = {});
   ~StreamingEngine();
 
@@ -226,9 +239,15 @@ class StreamingEngine {
   /// empty id is replaced by a generated one, the admission is journaled
   /// durably before this returns, and idempotency survives restarts;
   /// without it, ids are only tracked while in flight.
+  ///
+  /// `platform_hint` (registry mode only) names the serving platform
+  /// explicitly -- the HTTP `platform` field; it overrides the routing
+  /// policy and fails the future with NotFound when that platform is not
+  /// registered. The serving (platform, epoch) is pinned at admission and
+  /// echoed on the delivered RequesterPlan.
   std::future<Result<RequesterPlan>> Submit(
       std::string requester_id, std::vector<CrowdsourcingTask> tasks,
-      std::string submission_id = {});
+      std::string submission_id = {}, std::string platform_hint = {});
 
   /// Non-blocking admission: returns ResourceExhausted instead of a future
   /// when the queue has no room, regardless of the configured backpressure
@@ -237,7 +256,7 @@ class StreamingEngine {
   /// exactly like Submit()'s.
   Result<std::future<Result<RequesterPlan>>> TrySubmit(
       std::string requester_id, std::vector<CrowdsourcingTask> tasks,
-      std::string submission_id = {});
+      std::string submission_id = {}, std::string platform_hint = {});
 
   /// Re-admits submissions recovered from the journal on startup, in the
   /// given order (their admission order at recovery time, preserving the
@@ -276,6 +295,13 @@ class StreamingEngine {
     uint64_t seq = 0;    ///< global admission order (fairness sheds/ages)
     std::chrono::steady_clock::time_point admitted;
     std::promise<Result<RequesterPlan>> promise;
+    /// Registry mode: the serving (platform, epoch) pinned at admission.
+    /// The shared profile snapshot keeps this submission solving under
+    /// its admission epoch even if a promotion lands before its flush.
+    std::string platform;
+    uint64_t epoch = 0;
+    uint64_t salt = 0;
+    std::shared_ptr<const BinProfile> profile;
   };
 
   /// One tenant's pending queue and lifetime counters (fairness mode).
@@ -293,7 +319,7 @@ class StreamingEngine {
   std::future<Result<RequesterPlan>> SubmitWithPolicy(
       std::string requester_id, std::vector<CrowdsourcingTask> tasks,
       BackpressurePolicy policy, Status* rejected,
-      std::string submission_id);
+      std::string submission_id, std::string platform_hint);
   /// True when `pending` may be admitted now: the queue is empty (a lone
   /// submission is never deadlocked by a cap smaller than itself) or the
   /// governor has room for it. Requires mutex_ held.
@@ -348,6 +374,10 @@ class StreamingEngine {
   size_t in_flight_ = 0;  ///< submissions handed to ProcessBatch
   uint64_t next_flush_id_ = 0;
   StreamingStats stats_;
+
+  /// Registry-mode epoch subscription: evicts the retired epoch's cache
+  /// entries on promotion/retire. 0 = not subscribed.
+  uint64_t epoch_listener_id_ = 0;
 
   std::thread worker_;  ///< last member: joins before the rest dies
 };

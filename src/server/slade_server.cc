@@ -537,6 +537,14 @@ std::string SladeServer::HandleSubmit(const HttpRequest& request,
     }
     submission_id = id_json->string;
   }
+  std::string platform_hint;
+  if (const JsonValue* platform_json = doc->Find("platform")) {
+    if (!platform_json->is_string() || platform_json->string.empty()) {
+      *status_code = 400;
+      return ErrorBody("'platform' must be a non-empty string");
+    }
+    platform_hint = platform_json->string;
+  }
   std::vector<CrowdsourcingTask> tasks;
   tasks.reserve(tasks_json->items.size());
   for (const JsonValue& task_json : tasks_json->items) {
@@ -566,8 +574,9 @@ std::string SladeServer::HandleSubmit(const HttpRequest& request,
   // submission is rejected / shed). That is intentional: under kBlock
   // backpressure a full queue becomes TCP backpressure on this
   // connection.
-  std::future<Result<RequesterPlan>> future = engine_->Submit(
-      requester->string, std::move(tasks), std::move(submission_id));
+  std::future<Result<RequesterPlan>> future =
+      engine_->Submit(requester->string, std::move(tasks),
+                      std::move(submission_id), std::move(platform_hint));
   Result<RequesterPlan> plan = future.get();
   if (!plan.ok()) {
     const Status& status = plan.status();
@@ -577,6 +586,10 @@ std::string SladeServer::HandleSubmit(const HttpRequest& request,
       *status_code = 429;
     } else if (status.IsInvalidArgument()) {
       *status_code = 400;
+    } else if (status.IsNotFound()) {
+      // Routing failed: the 'platform' hint (or the sticky/cheapest
+      // policy) found no live platform to serve the submission.
+      *status_code = 404;
     } else if (status.IsAlreadyExists()) {
       // The same submission_id is in flight right now (a *finished*
       // duplicate replays the original outcome as 200 below). The client
@@ -610,6 +623,14 @@ std::string SladeServer::HandleSubmit(const HttpRequest& request,
   w.Value(plan->flush_id);
   w.Key("latency_seconds");
   w.Value(plan->latency_seconds);
+  if (!plan->platform.empty()) {
+    // Registry-routed serving echoes where (and under which profile
+    // epoch) the slice was solved.
+    w.Key("platform");
+    w.Value(plan->platform);
+    w.Key("epoch");
+    w.Value(plan->epoch);
+  }
   w.EndObject();
   return std::move(w).Take();
 }
@@ -715,6 +736,39 @@ std::string SladeServer::HandleStats() {
     w.Value(journal_stats.recovery.clean_shutdown);
     w.EndObject();
     w.EndObject();
+  }
+
+  if (const ProfileRegistry* registry = engine_->options().registry) {
+    // Multi-platform serving: per-platform routing/billing counters, the
+    // platform's current profile epoch, and the drift the last
+    // recalibration measured.
+    w.Key("platforms");
+    w.BeginArray();
+    for (const PlatformStats& platform : registry->stats()) {
+      w.BeginObject();
+      w.Key("platform");
+      w.Value(platform.platform_id);
+      w.Key("epoch");
+      w.Value(platform.epoch);
+      w.Key("live");
+      w.Value(platform.live);
+      w.Key("promotions");
+      w.Value(platform.promotions);
+      w.Key("routed_submissions");
+      w.Value(platform.routed_submissions);
+      w.Key("routed_tasks");
+      w.Value(platform.routed_tasks);
+      w.Key("routed_atomic_tasks");
+      w.Value(platform.routed_atomic_tasks);
+      w.Key("billed_cost");
+      w.Value(platform.billed_cost);
+      w.Key("answers_folded");
+      w.Value(platform.answers_folded);
+      w.Key("last_recalibration_delta");
+      w.Value(platform.last_recalibration_delta);
+      w.EndObject();
+    }
+    w.EndArray();
   }
 
   w.Key("tenants");

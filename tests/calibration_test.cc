@@ -49,11 +49,45 @@ TEST(PowerLawFitTest, RecoversSyntheticParameters) {
   EXPECT_NEAR(fit->Predict(10), 1.0 - 0.01 * std::pow(10, 0.9), 0.01);
 }
 
-TEST(PowerLawFitTest, NeedsTwoDistinctCardinalities) {
+TEST(PowerLawFitTest, SingleCardinalityFallsBackToFlatFit) {
+  // One distinct cardinality cannot identify a slope; the fit degrades to
+  // p = 0 at the pooled failure estimate instead of erroring, so the
+  // online recalibration loop keeps working when a platform only ever
+  // serves one bin size.
   std::vector<ProbeObservation> obs = {MakeObs(3, 100, 90, 0.1),
                                        MakeObs(3, 100, 85, 0.1)};
+  auto fit = PowerLawConfidenceFit::Fit(obs);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_DOUBLE_EQ(fit->failure_power(), 0.0);
+  // Flat model: every cardinality predicts the same confidence, the
+  // geometric pool of the per-observation counting estimates.
+  const double pooled = std::sqrt((1.0 - CountingEstimate(obs[0])) *
+                                  (1.0 - CountingEstimate(obs[1])));
+  EXPECT_NEAR(fit->Predict(1), 1.0 - pooled, 1e-12);
+  EXPECT_DOUBLE_EQ(fit->Predict(1), fit->Predict(17));
+}
+
+TEST(PowerLawFitTest, RejectsNoUsableObservations) {
+  // Zero-answer observations are skipped; all-skipped input still errors.
+  std::vector<ProbeObservation> obs = {MakeObs(3, 0, 0, 0.1),
+                                       MakeObs(0, 100, 90, 0.1)};
   EXPECT_TRUE(
       PowerLawConfidenceFit::Fit(obs).status().IsInvalidArgument());
+  EXPECT_TRUE(PowerLawConfidenceFit::Fit({}).status().IsInvalidArgument());
+}
+
+TEST(PowerLawFitTest, AllCorrectProbesMatchCountingSmoothing) {
+  // All-correct probes would put ln(0) into the regression without the
+  // Laplace smoothing; check the fit survives and stays consistent with
+  // the per-cardinality counting estimates it is built from.
+  std::vector<ProbeObservation> obs = {MakeObs(1, 500, 500, 0.05),
+                                       MakeObs(4, 500, 500, 0.08)};
+  auto fit = PowerLawConfidenceFit::Fit(obs);
+  ASSERT_TRUE(fit.ok());
+  for (const ProbeObservation& o : obs) {
+    EXPECT_NEAR(fit->Predict(o.cardinality), CountingEstimate(o), 1e-9)
+        << "l=" << o.cardinality;
+  }
 }
 
 TEST(CalibrateProfileTest, CountingNeedsFullCoverage) {
@@ -130,6 +164,22 @@ TEST(CalibrateProfileTest, CalibrationApproximatesGenerativeModel) {
     // The generative model adds a pay penalty on top of the power law, so
     // the pure power-law fit carries some structural bias; 0.04 bounds it.
     EXPECT_NEAR(profile->bin(l).confidence, analytic, 0.04) << "l=" << l;
+  }
+}
+
+TEST(CalibrateProfileTest, RegressionSingleCardinalityBuildsFlatProfile) {
+  // Degenerate probe data: every probe at one cardinality. The regression
+  // path used to fail here; now it builds the flat-fallback profile, with
+  // every confidence equal to the counting estimate of the pooled probe
+  // and the single probed cost carried to all cardinalities.
+  std::vector<ProbeObservation> obs = {MakeObs(2, 400, 360, 0.06)};
+  auto profile = CalibrateProfile(obs, 4, CalibrationMethod::kRegression);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->size(), 4u);
+  const double expected = CountingEstimate(obs[0]);
+  for (uint32_t l = 1; l <= 4; ++l) {
+    EXPECT_NEAR(profile->bin(l).confidence, expected, 1e-12) << "l=" << l;
+    EXPECT_DOUBLE_EQ(profile->bin(l).cost, 0.06);
   }
 }
 

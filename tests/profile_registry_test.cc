@@ -1,0 +1,403 @@
+// Lifecycle property suite for the multi-platform profile registry:
+// epoch monotonicity across retire/re-register cycles, clean failure of
+// retired lookups, routing-policy behavior, cost-estimate sanity, salt
+// uniqueness, listener notification, and -- the load-bearing property --
+// that an epoch promotion invalidates exactly its own platform-epoch's
+// OpqCache entries and leaves every other platform's entries (and hit
+// counters) untouched. A threaded section runs the full API under 8-way
+// contention so TSan can certify the locking.
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "binmodel/task.h"
+#include "binmodel/task_bin.h"
+#include "engine/opq_cache.h"
+#include "engine/profile_registry.h"
+#include "engine/streaming_engine.h"
+#include "solver/opq_solver.h"
+
+namespace slade {
+namespace {
+
+BinProfile TestProfile() { return BinProfile::PaperExample(); }
+
+CrowdsourcingTask TestTask(double threshold, size_t n = 4) {
+  std::vector<double> thresholds(n, threshold);
+  auto task = CrowdsourcingTask::FromThresholds(std::move(thresholds));
+  EXPECT_TRUE(task.ok()) << task.status().ToString();
+  return std::move(task).ValueOrDie();
+}
+
+TEST(ProfileRegistryTest, RegisterRetireLifecycle) {
+  ProfileRegistry registry;
+  auto epoch = registry.Register("alpha", TestProfile());
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(*epoch, 1u);
+  EXPECT_EQ(registry.live_count(), 1u);
+
+  // Double registration of a live platform fails.
+  EXPECT_TRUE(registry.Register("alpha", TestProfile())
+                  .status()
+                  .IsAlreadyExists());
+
+  auto snapshot = registry.Current("alpha");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->platform_id, "alpha");
+  EXPECT_EQ(snapshot->epoch, 1u);
+  EXPECT_NE(snapshot->salt, 0u);
+  ASSERT_NE(snapshot->profile, nullptr);
+
+  ASSERT_TRUE(registry.Retire("alpha").ok());
+  EXPECT_EQ(registry.live_count(), 0u);
+  // Retired lookups fail cleanly, and so does a second retire.
+  EXPECT_TRUE(registry.Current("alpha").status().IsNotFound());
+  EXPECT_TRUE(registry.Retire("alpha").IsNotFound());
+  EXPECT_TRUE(registry.Retire("never-registered").IsNotFound());
+  // The snapshot taken before the retire stays usable: in-flight work
+  // keeps solving against its admission epoch.
+  EXPECT_EQ(snapshot->profile->max_cardinality(),
+            TestProfile().max_cardinality());
+}
+
+TEST(ProfileRegistryTest, EpochsMonotonicAcrossRetireCycles) {
+  ProfileRegistry registry;
+  uint64_t last_epoch = 0;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    auto epoch = registry.Register("p", TestProfile());
+    ASSERT_TRUE(epoch.ok());
+    EXPECT_GT(*epoch, last_epoch) << "cycle " << cycle;
+    last_epoch = *epoch;
+
+    auto promoted = registry.Promote("p", TestProfile());
+    ASSERT_TRUE(promoted.ok());
+    EXPECT_EQ(*promoted, last_epoch + 1);
+    last_epoch = *promoted;
+
+    ASSERT_TRUE(registry.Retire("p").ok());
+  }
+  // Promoting a retired platform fails like any other lookup.
+  EXPECT_TRUE(registry.Promote("p", TestProfile()).status().IsNotFound());
+}
+
+TEST(ProfileRegistryTest, SaltsAreNonZeroAndDistinctPerEpoch) {
+  std::vector<uint64_t> salts;
+  for (uint64_t epoch = 1; epoch <= 64; ++epoch) {
+    salts.push_back(ProfileRegistry::SaltOf("platform", epoch));
+  }
+  salts.push_back(ProfileRegistry::SaltOf("other", 1));
+  salts.push_back(ProfileRegistry::SaltOf("", 1));
+  for (size_t i = 0; i < salts.size(); ++i) {
+    EXPECT_NE(salts[i], 0u) << i;
+    for (size_t j = i + 1; j < salts.size(); ++j) {
+      EXPECT_NE(salts[i], salts[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(ProfileRegistryTest, RoutingPoliciesBehave) {
+  ProfileRegistry registry;
+  ASSERT_TRUE(registry.Register("a", TestProfile()).ok());
+  ASSERT_TRUE(registry.Register("b", TestProfile()).ok());
+  const std::vector<CrowdsourcingTask> tasks = {TestTask(0.9)};
+
+  // Identical profiles: cheapest tie-breaks deterministically to the
+  // smallest platform id.
+  for (int i = 0; i < 3; ++i) {
+    auto routed =
+        registry.Route("r1", tasks, RoutingPolicy::kCheapest);
+    ASSERT_TRUE(routed.ok());
+    EXPECT_EQ(routed->platform_id, "a");
+  }
+
+  // An explicit hint always wins, whatever the policy.
+  auto hinted =
+      registry.Route("r1", tasks, RoutingPolicy::kCheapest, "b");
+  ASSERT_TRUE(hinted.ok());
+  EXPECT_EQ(hinted->platform_id, "b");
+  EXPECT_TRUE(registry.Route("r1", tasks, RoutingPolicy::kCheapest, "zz")
+                  .status()
+                  .IsNotFound());
+
+  // Explicit policy without a hint is a client error.
+  EXPECT_TRUE(registry.Route("r1", tasks, RoutingPolicy::kExplicit)
+                  .status()
+                  .IsInvalidArgument());
+
+  // Sticky: first route pins, later routes reuse the pin; when the pinned
+  // platform retires the requester re-routes and re-pins.
+  auto pin = registry.Route("r2", tasks, RoutingPolicy::kStickyRequester);
+  ASSERT_TRUE(pin.ok());
+  EXPECT_EQ(pin->platform_id, "a");
+  ASSERT_TRUE(registry.Retire("a").ok());
+  auto repinned =
+      registry.Route("r2", tasks, RoutingPolicy::kStickyRequester);
+  ASSERT_TRUE(repinned.ok());
+  EXPECT_EQ(repinned->platform_id, "b");
+  // The new pin holds even after "a" comes back (sticky, not cheapest).
+  ASSERT_TRUE(registry.Register("a", TestProfile()).ok());
+  auto held = registry.Route("r2", tasks, RoutingPolicy::kStickyRequester);
+  ASSERT_TRUE(held.ok());
+  EXPECT_EQ(held->platform_id, "b");
+
+  // No live platforms at all: routing fails with NotFound.
+  ASSERT_TRUE(registry.Retire("a").ok());
+  ASSERT_TRUE(registry.Retire("b").ok());
+  EXPECT_TRUE(registry.Route("r1", tasks, RoutingPolicy::kCheapest)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(ProfileRegistryTest, EstimateCostScalesWithPriceAndThreshold) {
+  const BinProfile profile = TestProfile();
+  const std::vector<CrowdsourcingTask> easy = {TestTask(0.7)};
+  const std::vector<CrowdsourcingTask> hard = {TestTask(0.97)};
+
+  const double easy_cost = ProfileRegistry::EstimateCost(profile, easy);
+  const double hard_cost = ProfileRegistry::EstimateCost(profile, hard);
+  EXPECT_GT(easy_cost, 0.0);
+  EXPECT_GE(hard_cost, easy_cost);  // tighter thresholds never get cheaper
+
+  // A uniformly 3x-priced profile estimates exactly 3x the cost.
+  std::vector<TaskBin> bins;
+  for (uint32_t l = 1; l <= profile.max_cardinality(); ++l) {
+    TaskBin b = profile.bin(l);
+    b.cost *= 3.0;
+    bins.push_back(b);
+  }
+  auto pricey = BinProfile::Create(std::move(bins));
+  ASSERT_TRUE(pricey.ok());
+  EXPECT_NEAR(ProfileRegistry::EstimateCost(*pricey, hard), 3.0 * hard_cost,
+              1e-9 * hard_cost);
+}
+
+TEST(ProfileRegistryTest, ListenersSeeEveryEpochChange) {
+  ProfileRegistry registry;
+  struct Event {
+    std::string platform;
+    uint64_t retired_salt;
+    uint64_t new_epoch;
+  };
+  std::vector<Event> events;
+  const uint64_t id = registry.AddEpochListener(
+      [&events](const std::string& platform, uint64_t retired_salt,
+                uint64_t new_epoch) {
+        events.push_back({platform, retired_salt, new_epoch});
+      });
+
+  ASSERT_TRUE(registry.Register("p", TestProfile()).ok());
+  EXPECT_TRUE(events.empty());  // registration retires nothing
+
+  ASSERT_TRUE(registry.Promote("p", TestProfile()).ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].platform, "p");
+  EXPECT_EQ(events[0].retired_salt, ProfileRegistry::SaltOf("p", 1));
+  EXPECT_EQ(events[0].new_epoch, 2u);
+
+  ASSERT_TRUE(registry.Retire("p").ok());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].retired_salt, ProfileRegistry::SaltOf("p", 2));
+  EXPECT_EQ(events[1].new_epoch, 0u);  // retired, not promoted
+
+  registry.RemoveEpochListener(id);
+  ASSERT_TRUE(registry.Register("p", TestProfile()).ok());
+  ASSERT_TRUE(registry.Promote("p", TestProfile()).ok());
+  EXPECT_EQ(events.size(), 2u);  // removed listener hears nothing
+}
+
+TEST(ProfileRegistryTest, EvictBySaltDropsExactlyOneEpochsEntries) {
+  // The cache-side half of the promotion contract, isolated from the
+  // engines: entries built under two salts (two platform-epochs) plus an
+  // unsalted entry share one cache; evicting one salt leaves the others
+  // resident and still hitting.
+  OpqCache cache;
+  const BinProfile profile = TestProfile();
+  const uint64_t salt_a = ProfileRegistry::SaltOf("a", 1);
+  const uint64_t salt_b = ProfileRegistry::SaltOf("b", 1);
+
+  const double thresholds[] = {0.85, 0.9, 0.95};
+  for (double t : thresholds) {
+    ASSERT_TRUE(cache.GetOrBuild(profile, t, {}, salt_a).ok());
+    ASSERT_TRUE(cache.GetOrBuild(profile, t, {}, salt_b).ok());
+  }
+  ASSERT_TRUE(cache.GetOrBuild(profile, 0.9, {}, /*salt=*/0).ok());
+  ASSERT_EQ(cache.size(), 7u);  // same profile, but salts keep entries apart
+
+  EXPECT_EQ(cache.EvictBySalt(salt_a), 3u);
+  EXPECT_EQ(cache.size(), 4u);
+
+  const CacheStats before = cache.stats();
+  // Salt-b and unsalted entries still hit...
+  for (double t : thresholds) {
+    auto lookup = cache.GetOrBuild(profile, t, {}, salt_b);
+    ASSERT_TRUE(lookup.ok());
+    EXPECT_TRUE(lookup->hit) << "t=" << t;
+  }
+  auto unsalted = cache.GetOrBuild(profile, 0.9);
+  ASSERT_TRUE(unsalted.ok());
+  EXPECT_TRUE(unsalted->hit);
+  EXPECT_EQ(cache.stats().hits, before.hits + 4);
+  EXPECT_EQ(cache.stats().misses, before.misses);
+  // ...while salt-a keys rebuild from scratch.
+  auto rebuilt = cache.GetOrBuild(profile, 0.85, {}, salt_a);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_FALSE(rebuilt->hit);
+
+  // Evicting a salt with no entries is a no-op.
+  EXPECT_EQ(cache.EvictBySalt(ProfileRegistry::SaltOf("c", 1)), 0u);
+}
+
+TEST(ProfileRegistryTest, PromotionInvalidatesOnlyItsOwnCacheEntries) {
+  // End to end through StreamingEngine's epoch listener: two platforms
+  // serve disjoint threshold groups; promoting one platform evicts exactly
+  // its cache entries, and the other platform's next submission still hits
+  // the cache with no new build.
+  ProfileRegistry registry;
+  ASSERT_TRUE(registry.Register("a", TestProfile()).ok());
+  ASSERT_TRUE(registry.Register("b", TestProfile()).ok());
+
+  StreamingOptions options;
+  options.max_pending_submissions = 1;
+  options.max_delay_seconds = 3600.0;
+  options.num_threads = 1;
+  options.registry = &registry;
+  options.routing = RoutingPolicy::kExplicit;
+  StreamingEngine engine(TestProfile(), options);
+
+  // One homogeneous threshold group per platform => one cache entry each.
+  auto warm_a = engine.Submit("r", {TestTask(0.9)}, {}, "a");
+  auto warm_b = engine.Submit("r", {TestTask(0.9)}, {}, "b");
+  engine.Drain();
+  ASSERT_TRUE(warm_a.get().ok());
+  ASSERT_TRUE(warm_b.get().ok());
+  const CacheStats warmed = engine.cache().stats();
+  ASSERT_EQ(warmed.entries, 2u);  // identical profile, distinct salts
+  EXPECT_EQ(warmed.evictions, 0u);
+
+  // Promote "a": its single entry is evicted through the epoch listener.
+  ASSERT_TRUE(registry.Promote("a", TestProfile()).ok());
+  const CacheStats after_promote = engine.cache().stats();
+  EXPECT_EQ(after_promote.entries, 1u);
+  EXPECT_EQ(after_promote.evictions, warmed.evictions + 1);
+
+  // "b" resubmits the same threshold group: pure cache hit, no build.
+  auto again_b = engine.Submit("r", {TestTask(0.9)}, {}, "b");
+  engine.Drain();
+  auto slice_b = again_b.get();
+  ASSERT_TRUE(slice_b.ok());
+  EXPECT_EQ(slice_b->platform, "b");
+  EXPECT_EQ(slice_b->epoch, 1u);
+  const CacheStats after_b = engine.cache().stats();
+  EXPECT_EQ(after_b.hits, after_promote.hits + 1);
+  EXPECT_EQ(after_b.misses, after_promote.misses);
+
+  // "a" resubmits under its new epoch: a fresh build under the new salt.
+  auto again_a = engine.Submit("r", {TestTask(0.9)}, {}, "a");
+  engine.Drain();
+  auto slice_a = again_a.get();
+  ASSERT_TRUE(slice_a.ok());
+  EXPECT_EQ(slice_a->epoch, 2u);
+  const CacheStats after_a = engine.cache().stats();
+  EXPECT_EQ(after_a.misses, after_b.misses + 1);
+  EXPECT_EQ(after_a.entries, 2u);
+
+  // Retiring "b" drops its entry too; "a"'s new-epoch entry survives.
+  ASSERT_TRUE(registry.Retire("b").ok());
+  EXPECT_EQ(engine.cache().stats().entries, 1u);
+}
+
+TEST(ProfileRegistryTest, ContendedLifecycleIsSafe) {
+  // 8 threads hammer register/retire/promote/route/fold/stats on four
+  // shared platform ids. The assertions are the thread-safety contract:
+  // no call crashes or corrupts, every snapshot is internally consistent,
+  // and epochs observed by any one thread never move backwards.
+  ProfileRegistry registry;
+  for (int p = 0; p < 4; ++p) {
+    ASSERT_TRUE(
+        registry.Register("p" + std::to_string(p), TestProfile()).ok());
+  }
+  std::atomic<uint64_t> listener_calls{0};
+  registry.AddEpochListener([&listener_calls](const std::string&, uint64_t,
+                                              uint64_t) {
+    listener_calls.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      const std::vector<CrowdsourcingTask> tasks = {TestTask(0.9, 3)};
+      std::vector<uint64_t> last_epoch(4, 0);
+      for (int i = 0; i < kIters; ++i) {
+        const std::string id = "p" + std::to_string((t + i) % 4);
+        switch ((t * 7 + i) % 6) {
+          case 0: {
+            // Retire/re-register churn; both may race another thread.
+            registry.Retire(id).ok();
+            registry.Register(id, TestProfile()).ok();
+            break;
+          }
+          case 1:
+            registry.Promote(id, TestProfile()).ok();
+            break;
+          case 2: {
+            auto snapshot = registry.Current(id);
+            if (snapshot.ok()) {
+              EXPECT_EQ(snapshot->platform_id, id);
+              EXPECT_NE(snapshot->salt, 0u);
+              EXPECT_NE(snapshot->profile, nullptr);
+              EXPECT_GE(snapshot->epoch, last_epoch[(t + i) % 4]);
+              last_epoch[(t + i) % 4] = snapshot->epoch;
+            }
+            break;
+          }
+          case 3: {
+            auto routed = registry.Route("r" + std::to_string(t), tasks,
+                                         RoutingPolicy::kStickyRequester);
+            if (routed.ok()) {
+              registry.RecordRouted(routed->platform_id, 1, 3);
+              registry.RecordBilled(routed->platform_id, 0.01);
+            }
+            break;
+          }
+          case 4: {
+            ProbeObservation obs;
+            obs.cardinality = 2;
+            obs.total = 10;
+            obs.correct = 9;
+            registry.FoldOutcomes(id, {obs}).ok();
+            break;
+          }
+          default: {
+            for (const PlatformSnapshot& s : registry.LiveSnapshots()) {
+              EXPECT_NE(s.profile, nullptr);
+            }
+            registry.stats();
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Post-contention sanity: stats cover all four platforms and epochs
+  // reflect at least the initial registration.
+  auto stats = registry.stats();
+  ASSERT_EQ(stats.size(), 4u);
+  for (const PlatformStats& s : stats) {
+    EXPECT_GE(s.epoch, 1u);
+  }
+  SUCCEED() << "listener saw " << listener_calls.load() << " epoch changes";
+}
+
+}  // namespace
+}  // namespace slade

@@ -80,6 +80,16 @@
 //       (--replay-speed 1 = recorded timing, 0 = unpaced;
 //       --replay-loop 0 = loop forever; --replay-id-prefix makes the
 //       feed idempotent across restarts on the same WAL).
+//       --profiles name=FILE,... registers one crowdsourcing platform
+//       per bin-profile CSV in a ProfileRegistry and routes each
+//       submission to the cheapest platform that meets its thresholds
+//       (--routing sticky pins requesters, explicit requires the HTTP
+//       `platform` field; a non-empty `platform` field always wins).
+//       /v1/submit echoes the serving (platform, epoch) and /v1/stats
+//       grows a per-platform counters section. --recalibrate-every /
+//       --drift-tolerance configure the online recalibration loop
+//       (profiles promote as new epochs when folded outcomes drift;
+//       see serve-loop, which actually feeds outcomes).
 //
 //   slade_cli serve-loop --dataset jelly|smic --workload TIMED.csv
 //                      [--max-cardinality M] [--rounds R]
@@ -107,7 +117,16 @@
 //       flags inject spammer bursts (every P posts, L posts long, extra
 //       fraction F), worker churn (new population every N posts),
 //       stragglers (fraction F at X times the latency) and platform
-//       outages (every P posts, L posts down).
+//       outages (every P posts, L posts down). The registry flags
+//       (--profiles/--routing/--recalibrate-every/--drift-tolerance,
+//       see serve) run the loop multi-platform: registered profiles are
+//       the planner's beliefs about the one simulated marketplace, each
+//       round's ground-truth-scored answers fold back into the serving
+//       platform, and a drifted profile promotes as a new epoch --
+//       in-flight micro-batches keep solving under their admission
+//       epoch, and only the promoted platform's OPQ cache entries are
+//       evicted. Without --profiles the dataset profile serves as
+//       platform "default".
 
 #include <atomic>
 #include <chrono>
@@ -130,6 +149,7 @@
 #include "durability/journal.h"
 #include "engine/closed_loop_engine.h"
 #include "engine/decomposition_engine.h"
+#include "engine/profile_registry.h"
 #include "engine/streaming_engine.h"
 #include "io/csv_reader.h"
 #include "io/model_io.h"
@@ -190,6 +210,9 @@ int Usage() {
       "                     [--replay FILE] [--replay-speed X] "
       "[--replay-loop N]\n"
       "                     [--replay-id-prefix P]\n"
+      "                     [--profiles name=FILE,...] "
+      "[--routing cheapest|sticky|explicit]\n"
+      "                     [--recalibrate-every N] [--drift-tolerance D]\n"
       "                     [+ the stream admission/backpressure flags]\n"
       "  slade_cli serve-loop --dataset jelly|smic --workload FILE\n"
       "                     [--max-cardinality M] [--rounds R] "
@@ -204,6 +227,9 @@ int Usage() {
       "[--fault-seed S]\n"
       "                     [--max-redecompositions N] "
       "[--retry-cost-multiple X]\n"
+      "                     [--profiles name=FILE,...] "
+      "[--routing cheapest|sticky|explicit]\n"
+      "                     [--recalibrate-every N] [--drift-tolerance D]\n"
       "                     [+ the stream admission/backpressure flags]\n";
   return 2;
 }
@@ -764,8 +790,93 @@ bool ParseFairnessFlags(const std::map<std::string, std::string>& flags,
   return true;
 }
 
+/// Parses the multi-platform registry flags shared by serve and
+/// serve-loop: `--profiles name=FILE,...` registers one platform per CSV
+/// profile, `--routing cheapest|sticky|explicit` picks the policy, and
+/// `--recalibrate-every` / `--drift-tolerance` configure the online
+/// recalibration loop. Any of them creates the registry; `*registry`
+/// stays null when none is given (single-profile serving, the previous
+/// behavior). Prints the error and returns false on a bad value.
+bool ParseRegistryFlags(const std::map<std::string, std::string>& flags,
+                        std::unique_ptr<ProfileRegistry>* registry,
+                        RoutingPolicy* routing) {
+  RecalibrationOptions recalibration;
+  if (!ParseUintFlag(flags, "recalibrate-every",
+                     &recalibration.recalibrate_every) ||
+      !ParseDoubleFlag(flags, "drift-tolerance", 0.0, 1.0,
+                       &recalibration.drift_tolerance)) {
+    return false;
+  }
+  if (auto it = flags.find("routing"); it != flags.end()) {
+    auto parsed = ParseRoutingPolicy(it->second);
+    if (!parsed.ok()) {
+      Fail(parsed.status().ToString());
+      return false;
+    }
+    *routing = *parsed;
+  }
+  if (!flags.count("profiles") && !flags.count("routing") &&
+      !flags.count("recalibrate-every") && !flags.count("drift-tolerance")) {
+    return true;
+  }
+  *registry = std::make_unique<ProfileRegistry>(recalibration);
+  if (auto it = flags.find("profiles"); it != flags.end()) {
+    const std::string& spec = it->second;
+    size_t begin = 0;
+    while (begin < spec.size()) {
+      size_t end = spec.find(',', begin);
+      if (end == std::string::npos) end = spec.size();
+      const std::string pair = spec.substr(begin, end - begin);
+      const size_t eq = pair.find('=');
+      if (eq == 0 || eq == std::string::npos || eq + 1 >= pair.size()) {
+        Fail("--profiles expects name=FILE pairs, got '" + pair + "'");
+        return false;
+      }
+      auto profile = LoadBinProfileCsv(pair.substr(eq + 1));
+      if (!profile.ok()) {
+        Fail(profile.status().ToString());
+        return false;
+      }
+      auto registered =
+          (*registry)->Register(pair.substr(0, eq), std::move(*profile));
+      if (!registered.ok()) {
+        Fail(registered.status().ToString());
+        return false;
+      }
+      begin = end + 1;
+    }
+  }
+  return true;
+}
+
+/// Prints one line of routing/recalibration counters per platform.
+void PrintPlatformStats(const ProfileRegistry& registry) {
+  for (const PlatformStats& p : registry.stats()) {
+    std::printf(
+        "platform %s: epoch %llu%s, %llu promotion(s), %llu submission(s) "
+        "routed (%llu atomic), billed %.4f, %llu answer(s) folded, "
+        "last drift %.4f\n",
+        p.platform_id.c_str(), static_cast<unsigned long long>(p.epoch),
+        p.live ? "" : " (retired)",
+        static_cast<unsigned long long>(p.promotions),
+        static_cast<unsigned long long>(p.routed_submissions),
+        static_cast<unsigned long long>(p.routed_atomic_tasks), p.billed_cost,
+        static_cast<unsigned long long>(p.answers_folded),
+        p.last_recalibration_delta);
+  }
+}
+
 int CmdServe(const std::map<std::string, std::string>& flags) {
-  // The bin profile comes from a CSV or a built-in dataset model.
+  // Multi-platform registry first: with --profiles, the engine's ctor
+  // profile may fall back to the first registered platform's. The
+  // registry outlives the engine (declared before it, destroyed after),
+  // which the engine's epoch listener requires.
+  StreamingOptions options;
+  std::unique_ptr<ProfileRegistry> registry;
+  if (!ParseRegistryFlags(flags, &registry, &options.routing)) return 1;
+
+  // The bin profile comes from a CSV, a built-in dataset model, or (for
+  // the single-profile ctor fallback) the first registered platform.
   Result<BinProfile> profile = Status::Internal("unreachable");
   if (auto it = flags.find("profile"); it != flags.end()) {
     profile = LoadBinProfileCsv(it->second);
@@ -785,12 +896,22 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     }
     profile = BuildProfile(MakeModel(kind),
                            static_cast<uint32_t>(max_cardinality));
+  } else if (registry != nullptr && registry->live_count() > 0) {
+    profile = BinProfile(*registry->LiveSnapshots().front().profile);
   } else {
     return Usage();
   }
   if (!profile.ok()) return Fail(profile.status().ToString());
+  if (registry != nullptr) {
+    if (registry->live_count() == 0) {
+      // --routing/--recalibrate-every without --profiles: serve the
+      // single loaded profile through the registry as platform "default".
+      auto registered = registry->Register("default", *profile);
+      if (!registered.ok()) return Fail(registered.status().ToString());
+    }
+    options.registry = registry.get();
+  }
 
-  StreamingOptions options;
   auto parse_size = [&](const char* key, size_t* out) -> bool {
     uint64_t value = *out;
     if (!ParseUintFlag(flags, key, &value)) return false;
@@ -927,6 +1048,14 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
               server_options.num_workers, BatchSharingName(options.sharing),
               options.fairness.enabled ? "on" : "off",
               BackpressurePolicyName(options.resources.backpressure));
+  if (registry != nullptr) {
+    std::printf("routing: %s policy over %zu platform(s), recalibrate every "
+                "%llu answer(s), drift tolerance %.3f\n",
+                RoutingPolicyName(options.routing), registry->live_count(),
+                static_cast<unsigned long long>(
+                    registry->recalibration().recalibrate_every),
+                registry->recalibration().drift_tolerance);
+  }
   std::fflush(stdout);  // scripts parse the bound port from this line
 
   std::signal(SIGINT, OnServeSignal);
@@ -961,6 +1090,7 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     std::printf("replay feed: %llu submissions delivered from the tape\n",
                 static_cast<unsigned long long>(replay_source->delivered()));
   }
+  if (registry != nullptr) PrintPlatformStats(*registry);
   if (journal != nullptr) {
     const JournalStats journal_stats = journal->stats();
     std::printf(
@@ -1115,6 +1245,24 @@ int CmdServeLoop(const std::map<std::string, std::string>& flags) {
   if (!ParseSharingFlag(flags, &options.streaming.sharing)) return 1;
   if (!ParseResourceFlags(flags, &options.streaming.resources)) return 1;
 
+  // Multi-platform registry + online recalibration. With --profiles the
+  // registered profiles are the planner's (possibly stale) beliefs about
+  // the one simulated marketplace; without it the dataset profile serves
+  // as platform "default". The recalibration loop then folds the
+  // marketplace's ground-truth-scored answers back into the serving
+  // platform and promotes a new epoch when the drift tolerance trips.
+  std::unique_ptr<ProfileRegistry> registry;
+  if (!ParseRegistryFlags(flags, &registry, &options.streaming.routing)) {
+    return 1;
+  }
+  if (registry != nullptr) {
+    if (registry->live_count() == 0) {
+      auto registered = registry->Register("default", *profile);
+      if (!registered.ok()) return Fail(registered.status().ToString());
+    }
+    options.streaming.registry = registry.get();
+  }
+
   // Ground truth: drawn per atomic task, independent of the platform's
   // RNG so the same labels replay under any fault scenario.
   double positive_rate = 0.5;
@@ -1168,6 +1316,7 @@ int CmdServeLoop(const std::map<std::string, std::string>& flags) {
       seconds,
       seconds > 0.0 ? static_cast<double>(report->total_answers) / seconds
                     : 0.0);
+  if (registry != nullptr) PrintPlatformStats(*registry);
   return 0;
 }
 
